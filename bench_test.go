@@ -1,0 +1,444 @@
+package repro
+
+// One benchmark per figure/table of the paper's evaluation, each running
+// a reduced-scale instance of the corresponding experiment (the full
+// sweeps live behind `go run ./cmd/experiments`). Custom metrics attach
+// the reproduced quantity to the benchmark output: reliability for the
+// reliability figures, bytes/events/duplicates/parasites per process for
+// the frugality figures. Ablation and substrate micro-benchmarks follow.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topic"
+)
+
+// rwpScenario is the reduced random-waypoint environment: the paper's
+// 6 nodes/km^2 density at 30 nodes.
+func rwpScenario(b *testing.B, speedMin, speedMax, frac float64, seed int64) netsim.Scenario {
+	b.Helper()
+	kind := netsim.RandomWaypoint
+	if speedMax == 0 {
+		kind = netsim.StaticNodes
+	}
+	return netsim.Scenario{
+		Nodes: 30,
+		Seed:  seed,
+		Mobility: netsim.MobilitySpec{
+			Kind:     kind,
+			Area:     geo.NewRect(2236, 2236), // 5 km^2
+			MinSpeed: speedMin,
+			MaxSpeed: speedMax,
+			Pause:    time.Second,
+		},
+		MAC:                mac.DefaultConfig(339),
+		Core:               netsim.CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+		SubscriberFraction: frac,
+		Warmup:             20 * time.Second,
+	}
+}
+
+func cityScenario(seed int64, hbUpper time.Duration, frac float64) netsim.Scenario {
+	return netsim.Scenario{
+		Nodes: 15,
+		Seed:  seed,
+		Mobility: netsim.MobilitySpec{
+			Kind:      netsim.CitySection,
+			StopProb:  0.3,
+			StopMin:   2 * time.Second,
+			StopMax:   10 * time.Second,
+			DestPause: 5 * time.Second,
+		},
+		MAC:                mac.DefaultConfig(44),
+		Core:               netsim.CoreTuning{HBUpperBound: hbUpper, UseSpeed: true},
+		SubscriberFraction: frac,
+		Warmup:             20 * time.Second,
+	}
+}
+
+func runReliability(b *testing.B, sc netsim.Scenario, publisher int, validity time.Duration) float64 {
+	b.Helper()
+	sc.Publications = []netsim.Publication{{Publisher: publisher, Validity: validity}}
+	sc.Measure = validity + 5*time.Second
+	res, err := netsim.Run(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Reliability()
+}
+
+// BenchmarkFig11Reliability regenerates one point of Figure 11:
+// reliability at 10 m/s, 80% subscribers, 120 s validity (random
+// waypoint).
+func BenchmarkFig11Reliability(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rel += runReliability(b, rwpScenario(b, 10, 10, 0.8, int64(i)+1), -1, 120*time.Second)
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}
+
+// BenchmarkFig12Heterogeneous regenerates one point of Figure 12:
+// heterogeneous 1-40 m/s speeds, 60% subscribers, 120 s validity.
+func BenchmarkFig12Heterogeneous(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rel += runReliability(b, rwpScenario(b, 1, 40, 0.6, int64(i)+1), -1, 120*time.Second)
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}
+
+// BenchmarkFig13HeartbeatPeriod regenerates one point of Figure 13: city
+// section with a 3 s heartbeat upper bound, validity 150 s.
+func BenchmarkFig13HeartbeatPeriod(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rel += runReliability(b, cityScenario(int64(i)+1, 3*time.Second, 1.0), i%15, 150*time.Second)
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}
+
+// BenchmarkFig14Subscribers regenerates one point of Figure 14: city
+// section, 60% subscribers.
+func BenchmarkFig14Subscribers(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rel += runReliability(b, cityScenario(int64(i)+1, time.Second, 0.6), -1, 150*time.Second)
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}
+
+// BenchmarkFig15PublisherSpread regenerates Figure 15's quantity: the
+// reliability spread across publishers (city section, 100% subscribers).
+func BenchmarkFig15PublisherSpread(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := 1.0, 0.0
+		for pub := 0; pub < 15; pub += 5 {
+			rel := runReliability(b, cityScenario(int64(i)+1, time.Second, 1.0), pub, 150*time.Second)
+			if rel < lo {
+				lo = rel
+			}
+			if rel > hi {
+				hi = rel
+			}
+		}
+		spread += hi - lo
+	}
+	b.ReportMetric(spread/float64(b.N), "spread")
+}
+
+// BenchmarkFig16Validity regenerates one point of Figure 16: city
+// section, validity 75 s.
+func BenchmarkFig16Validity(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rel += runReliability(b, cityScenario(int64(i)+1, time.Second, 1.0), i%15, 75*time.Second)
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}
+
+// frugalityRun executes one reduced frugality cell (Figures 17-20).
+func frugalityRun(b *testing.B, proto netsim.ProtocolKind, events int, frac float64, seed int64) *netsim.Result {
+	b.Helper()
+	sc := rwpScenario(b, 10, 10, frac, seed)
+	sc.Protocol = proto
+	validity := 60 * time.Second
+	for i := 0; i < events; i++ {
+		sc.Publications = append(sc.Publications, netsim.Publication{
+			Offset:    time.Duration(i) * 500 * time.Millisecond,
+			Publisher: -1,
+			Validity:  validity,
+		})
+	}
+	sc.Measure = validity
+	res, err := netsim.Run(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig17Bandwidth regenerates one cell of Figure 17 for the
+// frugal protocol and the best flooding alternative.
+func BenchmarkFig17Bandwidth(b *testing.B) {
+	var frugal, flood float64
+	for i := 0; i < b.N; i++ {
+		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).AppBytesPerProcess()
+		flood += frugalityRun(b, netsim.FloodInterest, 5, 0.6, int64(i)+1).AppBytesPerProcess()
+	}
+	b.ReportMetric(frugal/float64(b.N), "frugal-B/proc")
+	b.ReportMetric(flood/float64(b.N), "flood-B/proc")
+}
+
+// BenchmarkFig18EventsSent regenerates one cell of Figure 18.
+func BenchmarkFig18EventsSent(b *testing.B) {
+	var frugal, flood float64
+	for i := 0; i < b.N; i++ {
+		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).EventsSentPerProcess()
+		flood += frugalityRun(b, netsim.FloodSimple, 5, 0.6, int64(i)+1).EventsSentPerProcess()
+	}
+	b.ReportMetric(frugal/float64(b.N), "frugal-sent/proc")
+	b.ReportMetric(flood/float64(b.N), "flood-sent/proc")
+}
+
+// BenchmarkFig19Duplicates regenerates one cell of Figure 19.
+func BenchmarkFig19Duplicates(b *testing.B) {
+	var frugal, flood float64
+	for i := 0; i < b.N; i++ {
+		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).DuplicatesPerProcess()
+		flood += frugalityRun(b, netsim.FloodInterest, 5, 0.6, int64(i)+1).DuplicatesPerProcess()
+	}
+	b.ReportMetric(frugal/float64(b.N), "frugal-dup/proc")
+	b.ReportMetric(flood/float64(b.N), "flood-dup/proc")
+}
+
+// BenchmarkFig20Parasites regenerates one cell of Figure 20 (60%
+// interest, where parasites peak).
+func BenchmarkFig20Parasites(b *testing.B) {
+	var frugal, flood float64
+	for i := 0; i < b.N; i++ {
+		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).ParasitesPerProcess()
+		flood += frugalityRun(b, netsim.FloodInterest, 5, 0.6, int64(i)+1).ParasitesPerProcess()
+	}
+	b.ReportMetric(frugal/float64(b.N), "frugal-par/proc")
+	b.ReportMetric(flood/float64(b.N), "flood-par/proc")
+}
+
+// ---- ablation benches (DESIGN.md "Ablations") ----
+
+func ablationRun(b *testing.B, seed int64, mut func(*netsim.CoreTuning)) *netsim.Result {
+	b.Helper()
+	sc := rwpScenario(b, 10, 10, 0.8, seed)
+	sc.Core.HBUpperBound = 2 * time.Second
+	mut(&sc.Core)
+	for i := 0; i < 5; i++ {
+		sc.Publications = append(sc.Publications, netsim.Publication{
+			Offset:    time.Duration(i) * 500 * time.Millisecond,
+			Publisher: -1,
+			Validity:  60 * time.Second,
+		})
+	}
+	sc.Measure = 60 * time.Second
+	res, err := netsim.Run(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationBackoff compares the proportional back-off against a
+// fixed one.
+func BenchmarkAblationBackoff(b *testing.B) {
+	var paper, fixed float64
+	for i := 0; i < b.N; i++ {
+		paper += ablationRun(b, int64(i)+1, func(*netsim.CoreTuning) {}).DuplicatesPerProcess()
+		fixed += ablationRun(b, int64(i)+1, func(c *netsim.CoreTuning) { c.FixedBackoff = true }).DuplicatesPerProcess()
+	}
+	b.ReportMetric(paper/float64(b.N), "paper-dup/proc")
+	b.ReportMetric(fixed/float64(b.N), "fixed-dup/proc")
+}
+
+// BenchmarkAblationSuppression compares cancel-on-overhear on/off.
+func BenchmarkAblationSuppression(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on += ablationRun(b, int64(i)+1, func(*netsim.CoreTuning) {}).DuplicatesPerProcess()
+		off += ablationRun(b, int64(i)+1, func(c *netsim.CoreTuning) { c.DisableSuppression = true }).DuplicatesPerProcess()
+	}
+	b.ReportMetric(on/float64(b.N), "supp-dup/proc")
+	b.ReportMetric(off/float64(b.N), "nosupp-dup/proc")
+}
+
+// BenchmarkAblationIDExchange compares the id pre-exchange against blind
+// pushing.
+func BenchmarkAblationIDExchange(b *testing.B) {
+	var ids, blind float64
+	for i := 0; i < b.N; i++ {
+		ids += ablationRun(b, int64(i)+1, func(*netsim.CoreTuning) {}).AppBytesPerProcess()
+		blind += ablationRun(b, int64(i)+1, func(c *netsim.CoreTuning) { c.BlindPush = true }).AppBytesPerProcess()
+	}
+	b.ReportMetric(ids/float64(b.N), "ids-B/proc")
+	b.ReportMetric(blind/float64(b.N), "blind-B/proc")
+}
+
+// BenchmarkAblationGC compares GC policies under memory pressure.
+func BenchmarkAblationGC(b *testing.B) {
+	run := func(seed int64, pol core.GCPolicy) float64 {
+		res := ablationRun(b, seed, func(c *netsim.CoreTuning) {
+			c.MaxEvents = 3
+			c.GCPolicy = pol
+		})
+		return res.Reliability()
+	}
+	var paper, fifo float64
+	for i := 0; i < b.N; i++ {
+		paper += run(int64(i)+1, core.GCPaper)
+		fifo += run(int64(i)+1, core.GCFIFO)
+	}
+	b.ReportMetric(paper/float64(b.N), "paper-rel")
+	b.ReportMetric(fifo/float64(b.N), "fifo-rel")
+}
+
+// BenchmarkAblationAdaptiveHB compares the adaptive heartbeat against a
+// fixed period.
+func BenchmarkAblationAdaptiveHB(b *testing.B) {
+	var adaptive, fixed float64
+	for i := 0; i < b.N; i++ {
+		adaptive += ablationRun(b, int64(i)+1, func(*netsim.CoreTuning) {}).Reliability()
+		fixed += ablationRun(b, int64(i)+1, func(c *netsim.CoreTuning) { c.DisableAdaptiveHB = true }).Reliability()
+	}
+	b.ReportMetric(adaptive/float64(b.N), "adaptive-rel")
+	b.ReportMetric(fixed/float64(b.N), "fixed-rel")
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkEngineThroughput measures raw event-queue throughput.
+func BenchmarkEngineThroughput(b *testing.B) {
+	eng := sim.New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(0, tick)
+	eng.Run()
+}
+
+// BenchmarkTopicCovers measures subscription matching.
+func BenchmarkTopicCovers(b *testing.B) {
+	set := topic.NewSet(
+		topic.MustParse(".a.b"),
+		topic.MustParse(".c"),
+		topic.MustParse(".d.e.f"),
+	)
+	t := topic.MustParse(".d.e.f.g.h")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !set.Covers(t) {
+			b.Fatal("must cover")
+		}
+	}
+}
+
+// BenchmarkMessageEncode measures the real wire encoding.
+func BenchmarkMessageEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	msg := event.Events{
+		From:      3,
+		Receivers: []event.NodeID{1, 2, 5},
+		Events: []event.Event{{
+			ID:        event.NewID(rng),
+			Topic:     topic.MustParse(".a.b.c"),
+			Publisher: 3,
+			Payload:   make([]byte, 400),
+			Validity:  time.Minute,
+			Remaining: 30 * time.Second,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := event.Marshal(msg)
+		if _, err := event.Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMACBroadcast measures medium throughput with 50 nodes in
+// range.
+func BenchmarkMACBroadcast(b *testing.B) {
+	eng := sim.New(1)
+	positions := make(map[event.NodeID]geo.Point)
+	for i := event.NodeID(0); i < 50; i++ {
+		positions[i] = geo.Pt(float64(i)*5, 0)
+	}
+	medium := mac.New(eng, mac.DefaultConfig(400), staticLocator(positions))
+	ports := make([]*mac.Port, 50)
+	for i := event.NodeID(0); i < 50; i++ {
+		ports[i] = medium.Attach(i, func(mac.Frame) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ports[i%50].Broadcast(event.Heartbeat{From: event.NodeID(i % 50)}, 50)
+		eng.Run()
+	}
+}
+
+type staticLocator map[event.NodeID]geo.Point
+
+func (l staticLocator) Position(id event.NodeID, _ sim.Time) geo.Point { return l[id] }
+
+// BenchmarkMobilityPosition measures trajectory queries.
+func BenchmarkMobilityPosition(b *testing.B) {
+	w := mobility.NewWaypoint(mobility.WaypointConfig{
+		Area:     geo.NewRect(5000, 5000),
+		MinSpeed: 1,
+		MaxSpeed: 40,
+		Pause:    time.Second,
+	}, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Position(sim.Seconds(float64(i % 3600)))
+	}
+}
+
+// BenchmarkFullScenario measures one complete mid-size simulation per
+// iteration: the end-to-end cost of reproducing a reliability point.
+func BenchmarkFullScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runReliability(b, rwpScenario(b, 10, 10, 0.8, int64(i)+1), -1, 60*time.Second)
+	}
+}
+
+// BenchmarkExtStorm compares the frugal protocol with the broadcast-storm
+// schemes (Ni et al.) at 180 s validity: the single-shot schemes cannot
+// exploit mobility, so their reliability stays far below.
+func BenchmarkExtStorm(b *testing.B) {
+	var frugal, storm float64
+	for i := 0; i < b.N; i++ {
+		sc := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
+		frugal += runReliability(b, sc, -1, 120*time.Second)
+		sc2 := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
+		sc2.Protocol = netsim.StormProbabilistic
+		storm += runReliability(b, sc2, -1, 120*time.Second)
+	}
+	b.ReportMetric(frugal/float64(b.N), "frugal-rel")
+	b.ReportMetric(storm/float64(b.N), "storm-rel")
+}
+
+// BenchmarkExtShadowing measures the headline point under log-normal
+// shadowing calibrated to the same nominal radius.
+func BenchmarkExtShadowing(b *testing.B) {
+	params := radio.Default80211b()
+	sh := radio.Shadowing{
+		Params:         params,
+		SensitivityDBm: params.ReceivedPowerDBm(339),
+		SigmaDB:        6,
+		LimitDBm:       -111,
+	}
+	prune := sh.MaxRange(1e-3)
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		sc := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
+		sc.MAC.ReceiveProb = sh.ReceiveProb
+		sc.MAC.Range = prune
+		rel += runReliability(b, sc, -1, 120*time.Second)
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}

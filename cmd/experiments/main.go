@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	experiments -fig fig13              # one experiment, scaled-down
+//	experiments -fig all -full -seeds 30 # paper-scale everything (hours)
+//	experiments -list
+//
+// Scaled-down runs preserve the paper's node density and parameter shapes
+// while finishing in seconds to minutes; -full selects the paper's exact
+// environment (150 nodes on 25 km^2, 600 s warm-up, 30 seeds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment id (fig11..fig20, ablation) or 'all'")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seeds   = flag.Int("seeds", 0, "runs per sweep point (0 = experiment default)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "print per-point progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range exp.All() {
+			fmt.Printf("%-10s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Seeds: *seeds, Full: *full}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	var defs []exp.Definition
+	if *fig == "all" {
+		defs = exp.All()
+	} else {
+		d, ok := exp.Lookup(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
+			os.Exit(2)
+		}
+		defs = []exp.Definition{d}
+	}
+
+	for _, d := range defs {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", d.ID, d.Title)
+		out, err := d.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", d.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

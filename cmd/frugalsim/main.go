@@ -1,0 +1,162 @@
+// Command frugalsim runs a single dissemination scenario and prints its
+// measurements: reliability, per-process traffic, duplicates and
+// parasites.
+//
+// Examples:
+//
+//	frugalsim -nodes 50 -mobility rwp -speed 10 -subscribers 0.8 \
+//	          -events 3 -validity 120s
+//	frugalsim -mobility city -nodes 15 -range 44 -protocol frugal
+//	frugalsim -protocol simple-flooding -events 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "frugal",
+			"frugal | simple-flooding | interests-aware-flooding | neighbors-interests-flooding")
+		nodes     = flag.Int("nodes", 50, "number of processes")
+		mobility  = flag.String("mobility", "rwp", "rwp | city | static")
+		side      = flag.Float64("side", 2887, "square area side in meters (rwp/static)")
+		speedMin  = flag.Float64("speed-min", 0, "min speed m/s (rwp; 0 = same as -speed)")
+		speed     = flag.Float64("speed", 10, "max speed m/s (rwp)")
+		radio     = flag.Float64("range", 339, "radio range in meters")
+		subs      = flag.Float64("subscribers", 0.8, "fraction subscribed to the event topic")
+		events    = flag.Int("events", 1, "events to publish")
+		validity  = flag.Duration("validity", 120*time.Second, "event validity period")
+		warmup    = flag.Duration("warmup", 60*time.Second, "warm-up before measurement")
+		hbUpper   = flag.Duration("hb-upper", time.Second, "heartbeat upper bound (0 = none)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		showTrace = flag.Int("trace", 0, "print the last N timeline records (0 = off)")
+		timeline  = flag.Bool("timeline", false, "print per-event coverage over time")
+	)
+	flag.Parse()
+
+	sc := netsim.Scenario{
+		Name:  "frugalsim",
+		Nodes: *nodes,
+		Seed:  *seed,
+		MAC:   mac.DefaultConfig(*radio),
+		Core: netsim.CoreTuning{
+			HBUpperBound: *hbUpper,
+			UseSpeed:     true,
+		},
+		SubscriberFraction: *subs,
+		Warmup:             *warmup,
+		Measure:            *validity + 5*time.Second,
+	}
+
+	switch *mobility {
+	case "rwp":
+		lo := *speedMin
+		if lo == 0 {
+			lo = *speed
+		}
+		sc.Mobility = netsim.MobilitySpec{
+			Kind:     netsim.RandomWaypoint,
+			Area:     geo.NewRect(*side, *side),
+			MinSpeed: lo,
+			MaxSpeed: *speed,
+			Pause:    time.Second,
+		}
+	case "static":
+		sc.Mobility = netsim.MobilitySpec{
+			Kind: netsim.StaticNodes,
+			Area: geo.NewRect(*side, *side),
+		}
+	case "city":
+		sc.Mobility = netsim.MobilitySpec{
+			Kind:      netsim.CitySection,
+			StopProb:  0.3,
+			StopMin:   2 * time.Second,
+			StopMax:   10 * time.Second,
+			DestPause: 5 * time.Second,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mobility %q\n", *mobility)
+		os.Exit(2)
+	}
+
+	switch *protocol {
+	case "frugal":
+		sc.Protocol = netsim.Frugal
+	case "simple-flooding":
+		sc.Protocol = netsim.FloodSimple
+	case "interests-aware-flooding":
+		sc.Protocol = netsim.FloodInterest
+	case "neighbors-interests-flooding":
+		sc.Protocol = netsim.FloodNeighbors
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	for i := 0; i < *events; i++ {
+		sc.Publications = append(sc.Publications, netsim.Publication{
+			Offset:    time.Duration(i) * 500 * time.Millisecond,
+			Publisher: -1,
+			Validity:  *validity,
+		})
+	}
+	if *showTrace > 0 {
+		sc.Trace = trace.New(*showTrace)
+	}
+
+	start := time.Now()
+	res, err := netsim.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario: %d nodes, %s mobility, %s, %.0f%% subscribers, %d event(s), validity %v\n",
+		*nodes, *mobility, *protocol, *subs*100, *events, *validity)
+	fmt.Printf("simulated %v (wall %v)\n\n", sc.Warmup+sc.Measure, time.Since(start).Round(time.Millisecond))
+
+	tb := metrics.NewTable("per-process averages over the measurement window",
+		"metric", "value")
+	tb.AddRow("reliability", metrics.Pct(res.Reliability()))
+	tb.AddRow("bandwidth (app bytes)", metrics.KB(res.AppBytesPerProcess()))
+	tb.AddRow("event copies sent", metrics.F1(res.EventsSentPerProcess()))
+	tb.AddRow("duplicates received", metrics.F1(res.DuplicatesPerProcess()))
+	tb.AddRow("parasites received", metrics.F1(res.ParasitesPerProcess()))
+	tb.AddRow("MAC frames lost (total)", fmt.Sprintf("%d", res.FramesLostTotal()))
+	fmt.Println(tb)
+
+	for _, o := range res.Outcomes {
+		fmt.Printf("event %s by %v: delivered to %d/%d subscribers in time (%.1f%%)\n",
+			o.ID.String()[:8], o.Publisher, o.DeliveredInTime, o.Eligible, 100*o.Reliability())
+	}
+
+	if *timeline {
+		fmt.Println("\ncoverage over time:")
+		for _, o := range res.Outcomes {
+			fmt.Printf("event %s:", o.ID.String()[:8])
+			for frac := 0.0; frac <= 1.0; frac += 0.125 {
+				at := o.At.Add(time.Duration(frac * float64(o.Validity)))
+				fmt.Printf("  %.0f%%@%ds", 100*res.CoverageAt(o.ID, at),
+					int(frac*o.Validity.Seconds()))
+			}
+			fmt.Println()
+		}
+	}
+
+	if sc.Trace != nil {
+		fmt.Printf("\nlast %d timeline records:\n", sc.Trace.Len())
+		if err := sc.Trace.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

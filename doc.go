@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "Frugal Event
+// Dissemination in a Mobile Environment" (Baehni, Chhabra, Guerraoui —
+// Middleware 2005): a topic-based publish/subscribe protocol for mobile
+// ad-hoc networks, the discrete-event MANET simulator it is evaluated on
+// (random-waypoint and city-section mobility, 802.11b-style CSMA
+// broadcast MAC with collisions), three flooding baselines, and a harness
+// that regenerates every figure and table of the paper's evaluation.
+//
+// Layout:
+//
+//   - internal/core — the frugal protocol (the paper's contribution)
+//   - internal/sim, geo, topic, event, radio, mobility, mac — substrates
+//   - internal/flood — the three flooding baselines of Section 5.2
+//   - internal/netsim, metrics, exp — scenario runner and experiments
+//   - cmd/experiments, cmd/frugalsim — command-line tools
+//   - examples/ — quickstart, carpark, campus, inprocess
+//
+// The benchmarks in bench_test.go exercise one reduced-scale run per
+// paper figure; go run ./cmd/experiments regenerates the full tables.
+package repro

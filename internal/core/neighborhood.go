@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/topic"
+)
+
+// neighbor is one row of the paper's neighborhood table (Figure 2):
+// identity, subscriptions, presumed received events, speed and store time.
+type neighbor struct {
+	id       event.NodeID
+	subs     *topic.Set
+	speed    float64 // m/s, negative = unknown
+	has      map[event.ID]struct{}
+	storedAt time.Duration
+}
+
+func (n *neighbor) knows(id event.ID) bool {
+	_, ok := n.has[id]
+	return ok
+}
+
+func (n *neighbor) markHas(id event.ID) {
+	if n.has == nil {
+		n.has = make(map[event.ID]struct{})
+	}
+	n.has[id] = struct{}{}
+}
+
+// neighborhood is the dynamic one-hop neighbor table. Only neighbors with
+// overlapping subscriptions are stored (paper Section 3, phase 1).
+type neighborhood struct {
+	max int // 0 = unbounded
+	m   map[event.NodeID]*neighbor
+}
+
+func newNeighborhood(max int) *neighborhood {
+	return &neighborhood{max: max, m: make(map[event.NodeID]*neighbor)}
+}
+
+func (nh *neighborhood) len() int { return len(nh.m) }
+
+func (nh *neighborhood) get(id event.NodeID) *neighbor { return nh.m[id] }
+
+// upsert implements UPDATENEIGHBORINFO: insert or refresh a neighbor row,
+// reporting whether the neighbor is new and whether its subscriptions
+// changed. The presumed-received set survives refreshes. When the table
+// is full, the stalest row is evicted to admit the new one.
+func (nh *neighborhood) upsert(id event.NodeID, subs *topic.Set, speed float64, now time.Duration) (isNew, subsChanged bool) {
+	if n, ok := nh.m[id]; ok {
+		subsChanged = !n.subs.Equal(subs)
+		n.subs = subs
+		n.speed = speed
+		n.storedAt = now
+		return false, subsChanged
+	}
+	if nh.max > 0 && len(nh.m) >= nh.max {
+		nh.evictStalest()
+	}
+	nh.m[id] = &neighbor{id: id, subs: subs, speed: speed, storedAt: now}
+	return true, false
+}
+
+func (nh *neighborhood) evictStalest() {
+	var victim *neighbor
+	for _, n := range nh.m {
+		if victim == nil || n.storedAt < victim.storedAt ||
+			(n.storedAt == victim.storedAt && n.id < victim.id) {
+			victim = n
+		}
+	}
+	if victim != nil {
+		delete(nh.m, victim.id)
+	}
+}
+
+func (nh *neighborhood) remove(id event.NodeID) { delete(nh.m, id) }
+
+// gc implements the neighborhoodGC task (paper Figure 10): drop rows not
+// refreshed within ngcDelay. It returns the number removed.
+func (nh *neighborhood) gc(now, ngcDelay time.Duration) int {
+	removed := 0
+	for id, n := range nh.m {
+		if now-ngcDelay > n.storedAt {
+			delete(nh.m, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// sorted returns the neighbor rows ordered by id for deterministic
+// iteration.
+func (nh *neighborhood) sorted() []*neighbor {
+	out := make([]*neighbor, 0, len(nh.m))
+	for _, n := range nh.m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// avgSpeed implements AVERAGESPEED over neighbors reporting a known
+// speed; ok is false when no information is available.
+func (nh *neighborhood) avgSpeed(ownSpeed float64) (avg float64, ok bool) {
+	sum, n := 0.0, 0
+	if ownSpeed >= 0 {
+		sum, n = ownSpeed, 1
+	}
+	for _, nb := range nh.sorted() {
+		if nb.speed >= 0 {
+			sum += nb.speed
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/topic"
+)
+
+func subsOf(names ...string) *topic.Set {
+	s := topic.NewSet()
+	for _, n := range names {
+		s.Add(topic.MustParse(n))
+	}
+	return s
+}
+
+func TestNeighborhoodUpsert(t *testing.T) {
+	nh := newNeighborhood(0)
+	isNew, changed := nh.upsert(1, subsOf(".a"), 5, 0)
+	if !isNew || changed {
+		t.Fatalf("first upsert: new=%v changed=%v", isNew, changed)
+	}
+	// Refresh with same subs: neither new nor changed.
+	isNew, changed = nh.upsert(1, subsOf(".a"), 7, time.Second)
+	if isNew || changed {
+		t.Fatalf("refresh: new=%v changed=%v", isNew, changed)
+	}
+	if nh.get(1).speed != 7 || nh.get(1).storedAt != time.Second {
+		t.Fatal("refresh did not update row")
+	}
+	// Changed subscriptions detected.
+	_, changed = nh.upsert(1, subsOf(".a", ".b"), 7, 2*time.Second)
+	if !changed {
+		t.Fatal("subscription change not detected")
+	}
+}
+
+func TestNeighborhoodHasSurvivesRefresh(t *testing.T) {
+	nh := newNeighborhood(0)
+	nh.upsert(1, subsOf(".a"), -1, 0)
+	id := event.ID{Lo: 9}
+	nh.get(1).markHas(id)
+	nh.upsert(1, subsOf(".a"), -1, time.Second)
+	if !nh.get(1).knows(id) {
+		t.Fatal("presumed-received set lost on heartbeat refresh")
+	}
+}
+
+func TestNeighborhoodGC(t *testing.T) {
+	nh := newNeighborhood(0)
+	nh.upsert(1, subsOf(".a"), -1, 0)
+	nh.upsert(2, subsOf(".a"), -1, 4*time.Second)
+	// NGC delay 2.5s at now=5s: entry stored at 0 is stale (5-2.5 > 0),
+	// entry stored at 4s survives.
+	removed := nh.gc(5*time.Second, 2500*time.Millisecond)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if nh.get(1) != nil || nh.get(2) == nil {
+		t.Fatal("wrong entry collected")
+	}
+}
+
+func TestNeighborhoodGCBoundary(t *testing.T) {
+	// Paper Figure 10: remove iff currentTime - NGCDelay > storeTime,
+	// strictly. An entry stored exactly NGCDelay ago survives.
+	nh := newNeighborhood(0)
+	nh.upsert(1, subsOf(".a"), -1, 0)
+	if removed := nh.gc(2*time.Second, 2*time.Second); removed != 0 {
+		t.Fatal("boundary entry must survive")
+	}
+}
+
+func TestNeighborhoodCapEvictsStalest(t *testing.T) {
+	nh := newNeighborhood(2)
+	nh.upsert(1, subsOf(".a"), -1, 0)
+	nh.upsert(2, subsOf(".a"), -1, time.Second)
+	nh.upsert(3, subsOf(".a"), -1, 2*time.Second)
+	if nh.len() != 2 {
+		t.Fatalf("len = %d, want 2", nh.len())
+	}
+	if nh.get(1) != nil {
+		t.Fatal("stalest entry should have been evicted")
+	}
+	if nh.get(2) == nil || nh.get(3) == nil {
+		t.Fatal("fresh entries missing")
+	}
+}
+
+func TestAvgSpeed(t *testing.T) {
+	nh := newNeighborhood(0)
+	if _, ok := nh.avgSpeed(-1); ok {
+		t.Fatal("no data should report !ok")
+	}
+	if avg, ok := nh.avgSpeed(10); !ok || avg != 10 {
+		t.Fatalf("own-only avg = %v ok=%v", avg, ok)
+	}
+	nh.upsert(1, subsOf(".a"), 20, 0)
+	nh.upsert(2, subsOf(".a"), -1, 0) // unknown speed ignored
+	avg, ok := nh.avgSpeed(10)
+	if !ok || math.Abs(avg-15) > 1e-9 {
+		t.Fatalf("avg = %v, want 15", avg)
+	}
+	avg, ok = nh.avgSpeed(-1)
+	if !ok || math.Abs(avg-20) > 1e-9 {
+		t.Fatalf("avg without own = %v, want 20", avg)
+	}
+}
+
+func TestNeighborhoodSortedOrder(t *testing.T) {
+	nh := newNeighborhood(0)
+	for _, id := range []event.NodeID{5, 1, 3} {
+		nh.upsert(id, subsOf(".a"), -1, 0)
+	}
+	got := nh.sorted()
+	if len(got) != 3 || got[0].id != 1 || got[1].id != 3 || got[2].id != 5 {
+		t.Fatalf("sorted order wrong: %v %v %v", got[0].id, got[1].id, got[2].id)
+	}
+}

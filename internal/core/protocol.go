@@ -1,0 +1,549 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/topic"
+)
+
+// Stats counts protocol activity; all counters are cumulative since
+// creation. Snapshot via Protocol.Stats.
+type Stats struct {
+	HeartbeatsSent uint64
+	IDListsSent    uint64
+	EventMsgsSent  uint64 // Events messages broadcast
+	EventsSent     uint64 // event copies across all Events messages
+	EventsReceived uint64 // event copies heard, any topic
+	Delivered      uint64 // events handed to the application
+	Duplicates     uint64 // received events already stored/delivered
+	Parasites      uint64 // received events outside our subscriptions
+	ExpiredDrops   uint64 // received events already past validity
+	Published      uint64
+	TableEvictions uint64 // events evicted by the gc(e) policy
+	NeighborsGCed  uint64
+}
+
+// Protocol is one process p_i running the frugal dissemination algorithm.
+// See the package comment for the concurrency contract.
+type Protocol struct {
+	cfg   Config
+	sched Scheduler
+	tr    Transport
+
+	subs  *topic.Set
+	nbrs  *neighborhood
+	table *eventTable
+
+	hbDelay  time.Duration
+	ngcDelay time.Duration
+
+	hbTimer    Timer
+	ngcTimer   Timer
+	boTimer    Timer
+	boDeadline time.Duration
+
+	// pendingIDs stashes event-id lists heard from processes we have not
+	// discovered yet. The paper's Figure 6 silently drops those, which
+	// deadlocks a stable pair when the holder's heartbeat beats the
+	// needer's (the one-shot id exchange then never reaches the holder).
+	// Stashing until the heartbeat arrives preserves the paper's
+	// frugality while restoring liveness; entries expire after ngcDelay.
+	pendingIDs map[event.NodeID]pendingIDList
+
+	stats   Stats
+	stopped bool
+}
+
+type pendingIDList struct {
+	ids []event.ID
+	at  time.Duration
+}
+
+// maxPendingIDLists bounds the stash of id lists from undiscovered
+// processes.
+const maxPendingIDLists = 64
+
+// New creates a protocol instance. It returns an error on invalid
+// configuration. The instance is idle until Subscribe or Publish is
+// called.
+func New(cfg Config, sched Scheduler, tr Transport) (*Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil || tr == nil {
+		return nil, errors.New("core: nil scheduler or transport")
+	}
+	cfg = cfg.withDefaults()
+	table := newEventTable(cfg.MaxEvents)
+	table.policy = cfg.GCPolicy
+	table.rng = cfg.Rand
+	p := &Protocol{
+		cfg:        cfg,
+		sched:      sched,
+		tr:         tr,
+		subs:       topic.NewSet(),
+		nbrs:       newNeighborhood(cfg.MaxNeighbors),
+		table:      table,
+		pendingIDs: make(map[event.NodeID]pendingIDList),
+	}
+	p.hbDelay = cfg.clampHB(cfg.HBDelay)
+	p.ngcDelay = p.scaleNGC(p.hbDelay)
+	return p, nil
+}
+
+// ID returns the process identifier.
+func (p *Protocol) ID() event.NodeID { return p.cfg.ID }
+
+// Stats returns a snapshot of the protocol counters.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// HBDelay returns the current (adaptive) heartbeat period.
+func (p *Protocol) HBDelay() time.Duration { return p.hbDelay }
+
+// NGCDelay returns the current neighborhood garbage-collection period.
+func (p *Protocol) NGCDelay() time.Duration { return p.ngcDelay }
+
+// NeighborIDs returns the ids in the neighborhood table, sorted.
+func (p *Protocol) NeighborIDs() []event.NodeID {
+	ns := p.nbrs.sorted()
+	out := make([]event.NodeID, len(ns))
+	for i, n := range ns {
+		out[i] = n.id
+	}
+	return out
+}
+
+// HasEvent reports whether the event table holds id.
+func (p *Protocol) HasEvent(id event.ID) bool { return p.table.has(id) }
+
+// EventCount returns the number of stored events (valid or not yet
+// collected).
+func (p *Protocol) EventCount() int { return p.table.len() }
+
+// Subscriptions returns a copy of the current subscription set.
+func (p *Protocol) Subscriptions() *topic.Set { return p.subs.Clone() }
+
+// Subscribe adds t to the subscription list and starts the heartbeat and
+// neighborhood-GC tasks if needed (paper Figure 5).
+func (p *Protocol) Subscribe(t topic.Topic) error {
+	if p.stopped {
+		return errors.New("core: protocol stopped")
+	}
+	if t.IsZero() {
+		return errors.New("core: zero topic")
+	}
+	p.subs.Add(t)
+	if p.hbTimer == nil {
+		// Desynchronize first heartbeats across nodes: a random phase in
+		// [0, hbDelay) avoids the pathological all-at-once burst when a
+		// whole scenario subscribes at the same instant.
+		phase := time.Duration(p.cfg.Rand.Int63n(int64(p.hbDelay) + 1))
+		p.hbTimer = p.sched.After(phase, p.heartbeatTick)
+	}
+	p.startNGC()
+	return nil
+}
+
+// Unsubscribe removes t; when the subscription list empties, the
+// heartbeat and neighborhood-GC tasks stop (paper Figure 5).
+func (p *Protocol) Unsubscribe(t topic.Topic) {
+	p.subs.Remove(t)
+	if p.subs.Empty() {
+		stopTimer(&p.hbTimer)
+		stopTimer(&p.ngcTimer)
+	}
+}
+
+func stopTimer(t *Timer) {
+	if *t != nil {
+		(*t).Stop()
+		*t = nil
+	}
+}
+
+func (p *Protocol) startNGC() {
+	if p.ngcTimer == nil {
+		p.ngcTimer = p.sched.After(p.ngcDelay, p.ngcTick)
+	}
+}
+
+// Stop halts all activity permanently.
+func (p *Protocol) Stop() {
+	p.stopped = true
+	stopTimer(&p.hbTimer)
+	stopTimer(&p.ngcTimer)
+	stopTimer(&p.boTimer)
+}
+
+// speed returns the node's own speed, or -1 when unknown.
+func (p *Protocol) speed() float64 {
+	if p.cfg.Speed == nil {
+		return -1
+	}
+	if v := p.cfg.Speed(); v >= 0 {
+		return v
+	}
+	return -1
+}
+
+// heartbeatTick is the HEARTBEAT task: broadcast identity, subscriptions
+// and speed, then reschedule at the current adaptive period.
+func (p *Protocol) heartbeatTick() {
+	if p.stopped || p.subs.Empty() {
+		p.hbTimer = nil
+		return
+	}
+	// Announce the minimal covering subscription list: subtopics
+	// subsumed by an announced ancestor add no information.
+	p.tr.Broadcast(event.Heartbeat{
+		From:          p.cfg.ID,
+		Subscriptions: p.subs.Minimal(),
+		Speed:         p.speed(),
+	})
+	p.stats.HeartbeatsSent++
+	p.hbTimer = p.sched.After(p.hbDelay, p.heartbeatTick)
+}
+
+// ngcTick is the neighborhoodGC task (paper Figure 10).
+func (p *Protocol) ngcTick() {
+	if p.stopped {
+		p.ngcTimer = nil
+		return
+	}
+	p.stats.NeighborsGCed += uint64(p.nbrs.gc(p.sched.Now(), p.ngcDelay))
+	p.ngcTimer = p.sched.After(p.ngcDelay, p.ngcTick)
+}
+
+// HandleMessage feeds a received broadcast into the protocol. Unknown
+// message types return an error; the caller decides whether that is
+// fatal.
+func (p *Protocol) HandleMessage(m event.Message) error {
+	if p.stopped {
+		return nil
+	}
+	switch v := m.(type) {
+	case event.Heartbeat:
+		p.onHeartbeat(v)
+	case event.IDList:
+		p.onIDList(v)
+	case event.Events:
+		p.onEvents(v)
+	default:
+		return fmt.Errorf("core: unknown message %T", m)
+	}
+	return nil
+}
+
+// onHeartbeat implements paper Figure 6, lines 5-23.
+func (p *Protocol) onHeartbeat(h event.Heartbeat) {
+	if h.From == p.cfg.ID {
+		return
+	}
+	now := p.sched.Now()
+	hbSubs := topic.NewSet(h.Subscriptions...)
+	if !hbSubs.Overlaps(p.subs) {
+		// Not (or no longer) interesting: forget any stale row.
+		p.nbrs.remove(h.From)
+		return
+	}
+	isNew, changed := p.nbrs.upsert(h.From, hbSubs, h.Speed, now)
+	if (isNew || changed) && p.cfg.BlindPush {
+		// Ablation: no id pre-exchange — assume the neighbor holds
+		// nothing and schedule a push directly.
+		p.retrieveEventsToSend()
+	} else if isNew || changed {
+		// neighborEvent: announce the ids of our valid events matching
+		// the neighbor's interests. An empty list still triggers the
+		// peer's RETRIEVEEVENTSTOSEND, telling it we need everything.
+		p.tr.Broadcast(event.IDList{
+			From: p.cfg.ID,
+			IDs:  p.table.idsMatching(hbSubs, now),
+		})
+		p.stats.IDListsSent++
+	}
+	if isNew {
+		// Apply an id list heard before the neighbor was known, then
+		// check whether it needs anything we hold.
+		if pend, ok := p.pendingIDs[h.From]; ok {
+			delete(p.pendingIDs, h.From)
+			if now-pend.at <= p.ngcDelay {
+				nb := p.nbrs.get(h.From)
+				for _, id := range pend.ids {
+					nb.markHas(id)
+				}
+				p.retrieveEventsToSend()
+			}
+		}
+	}
+	p.computeHBDelay()
+	p.computeNGCDelay()
+}
+
+// onIDList implements paper Figure 6, lines 24-32, with the pending-list
+// stash for not-yet-discovered senders (see the pendingIDs field).
+func (p *Protocol) onIDList(l event.IDList) {
+	if l.From == p.cfg.ID {
+		return
+	}
+	now := p.sched.Now()
+	nb := p.nbrs.get(l.From)
+	if nb == nil {
+		p.prunePending(now)
+		if len(p.pendingIDs) < maxPendingIDLists {
+			p.pendingIDs[l.From] = pendingIDList{
+				ids: append([]event.ID(nil), l.IDs...),
+				at:  now,
+			}
+		}
+		return
+	}
+	for _, id := range l.IDs {
+		nb.markHas(id)
+	}
+	p.retrieveEventsToSend()
+}
+
+// prunePending drops stashed id lists older than the neighborhood GC
+// horizon.
+func (p *Protocol) prunePending(now time.Duration) {
+	for id, pend := range p.pendingIDs {
+		if now-pend.at > p.ngcDelay {
+			delete(p.pendingIDs, id)
+		}
+	}
+}
+
+// onEvents implements paper Figure 9, lines 15-32.
+func (p *Protocol) onEvents(msg event.Events) {
+	if msg.From == p.cfg.ID {
+		return
+	}
+	now := p.sched.Now()
+	// Update presumed-received info: the sender and every listed
+	// receiver are assumed to hold the carried events.
+	holders := make([]*neighbor, 0, len(msg.Receivers)+1)
+	if nb := p.nbrs.get(msg.From); nb != nil {
+		holders = append(holders, nb)
+	}
+	for _, r := range msg.Receivers {
+		if nb := p.nbrs.get(r); nb != nil {
+			holders = append(holders, nb)
+		}
+	}
+	interested := false
+	for _, ev := range msg.Events {
+		p.stats.EventsReceived++
+		for _, nb := range holders {
+			nb.markHas(ev.ID)
+		}
+		if !p.subs.Covers(ev.Topic) {
+			p.stats.Parasites++ // parasite event: drop (Section 3)
+			continue
+		}
+		if p.table.has(ev.ID) {
+			p.stats.Duplicates++
+			continue
+		}
+		if ev.Remaining <= 0 {
+			p.stats.ExpiredDrops++
+			continue
+		}
+		interested = true
+		// Receiving a new event of interest cancels our own pending
+		// send (suppression, Figure 9 line 22).
+		if !p.cfg.DisableSuppression {
+			stopTimer(&p.boTimer)
+		}
+		p.store(ev, now)
+		p.deliver(ev)
+	}
+	if interested {
+		p.retrieveEventsToSend()
+	}
+}
+
+// store inserts ev into the event table, accounting evictions.
+func (p *Protocol) store(ev event.Event, now time.Duration) {
+	if evicted := p.table.insert(ev, now); evicted != nil {
+		p.stats.TableEvictions++
+	}
+}
+
+func (p *Protocol) deliver(ev event.Event) {
+	p.stats.Delivered++
+	if p.cfg.OnDeliver != nil {
+		p.cfg.OnDeliver(ev)
+	}
+}
+
+// Publish implements paper Figure 9, lines 33-53: broadcast immediately
+// if an interested neighbor is known, then store and deliver locally.
+func (p *Protocol) Publish(t topic.Topic, payload []byte, validity time.Duration) (event.ID, error) {
+	if p.stopped {
+		return event.ID{}, errors.New("core: protocol stopped")
+	}
+	if t.IsZero() {
+		return event.ID{}, errors.New("core: zero topic")
+	}
+	if validity <= 0 {
+		return event.ID{}, fmt.Errorf("core: non-positive validity %v", validity)
+	}
+	now := p.sched.Now()
+	ev := event.Event{
+		ID:        event.NewID(p.cfg.Rand),
+		Topic:     t,
+		Publisher: p.cfg.ID,
+		Payload:   append([]byte(nil), payload...),
+		Validity:  validity,
+		Remaining: validity,
+	}
+	receivers := p.interestedNeighbors(t)
+	p.store(ev, now)
+	if len(receivers) > 0 {
+		p.tr.Broadcast(event.Events{
+			From:      p.cfg.ID,
+			Events:    []event.Event{ev},
+			Receivers: receivers,
+		})
+		p.stats.EventMsgsSent++
+		p.stats.EventsSent++
+		p.markAllNeighbors(ev.ID)
+		p.table.get(ev.ID).fwd++
+	}
+	p.stats.Published++
+	if p.subs.Covers(t) {
+		p.deliver(ev)
+	}
+	p.startNGC() // paper Figure 9 line 50
+	return ev.ID, nil
+}
+
+// interestedNeighbors returns the sorted ids of neighbors whose
+// subscriptions cover t.
+func (p *Protocol) interestedNeighbors(t topic.Topic) []event.NodeID {
+	var out []event.NodeID
+	for _, nb := range p.nbrs.sorted() {
+		if nb.subs.Covers(t) {
+			out = append(out, nb.id)
+		}
+	}
+	return out
+}
+
+func (p *Protocol) markAllNeighbors(id event.ID) {
+	for _, nb := range p.nbrs.sorted() {
+		nb.markHas(id)
+	}
+}
+
+// computeSendSet returns the valid stored events some neighbor needs,
+// plus the union of the needing neighbors' ids (paper Figure 7).
+func (p *Protocol) computeSendSet() ([]*tableEntry, []event.NodeID) {
+	now := p.sched.Now()
+	var entries []*tableEntry
+	needers := make(map[event.NodeID]bool)
+	for _, e := range p.table.validEntries(now) {
+		needed := false
+		for _, nb := range p.nbrs.sorted() {
+			if nb.subs.Covers(e.ev.Topic) && !nb.knows(e.ev.ID) {
+				needed = true
+				needers[nb.id] = true
+			}
+		}
+		if needed {
+			entries = append(entries, e)
+		}
+	}
+	ids := make([]event.NodeID, 0, len(needers))
+	for id := range needers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return entries, ids
+}
+
+// retrieveEventsToSend implements RETRIEVEEVENTSTOSEND (paper Figure 7):
+// when some neighbor misses events we hold, arm (or tighten) the back-off
+// timer; the send set itself is recomputed at expiry.
+func (p *Protocol) retrieveEventsToSend() {
+	entries, _ := p.computeSendSet()
+	if len(entries) == 0 {
+		return
+	}
+	now := p.sched.Now()
+	delay := p.computeBODelay(len(entries))
+	deadline := now + delay
+	if p.boTimer != nil {
+		if deadline >= p.boDeadline {
+			return // existing, earlier back-off wins (COMPUTEBODELAY's MIN)
+		}
+		stopTimer(&p.boTimer)
+	}
+	p.boDeadline = deadline
+	p.boTimer = p.sched.After(delay, p.onBackoffExpired)
+}
+
+// computeBODelay implements COMPUTEBODELAY (paper Figure 8):
+// HBDelay / (HB2BO * |eventsToSend|), so holders of more events fire
+// sooner.
+func (p *Protocol) computeBODelay(n int) time.Duration {
+	if n < 1 || p.cfg.FixedBackoff {
+		n = 1
+	}
+	return time.Duration(float64(p.hbDelay) / (p.cfg.HB2BO * float64(n)))
+}
+
+// onBackoffExpired implements paper Figure 9, lines 1-14: recompute the
+// send set (the neighborhood may have changed during the back-off) and
+// broadcast it.
+func (p *Protocol) onBackoffExpired() {
+	p.boTimer = nil
+	now := p.sched.Now()
+	entries, receivers := p.computeSendSet()
+	if len(entries) == 0 {
+		return
+	}
+	events := make([]event.Event, len(entries))
+	for i, e := range entries {
+		events[i] = e.ev.WithRemaining(e.remaining(now))
+	}
+	p.tr.Broadcast(event.Events{
+		From:      p.cfg.ID,
+		Events:    events,
+		Receivers: receivers,
+	})
+	p.stats.EventMsgsSent++
+	p.stats.EventsSent += uint64(len(events))
+	for _, e := range entries {
+		p.markAllNeighbors(e.ev.ID)
+		e.fwd++
+	}
+}
+
+// computeHBDelay implements COMPUTEHBDELAY (paper Figure 8): x over the
+// average known speed, clamped to the configured bounds.
+func (p *Protocol) computeHBDelay() {
+	if p.cfg.DisableAdaptiveHB {
+		p.hbDelay = p.cfg.clampHB(p.cfg.HBDelay)
+		return
+	}
+	avg, ok := p.nbrs.avgSpeed(p.speed())
+	d := p.cfg.HBDelay
+	if ok && avg > 0.01 {
+		d = time.Duration(p.cfg.X / avg * float64(time.Second))
+	}
+	p.hbDelay = p.cfg.clampHB(d)
+}
+
+// computeNGCDelay implements COMPUTENGCDELAY: NGCDelay = HBDelay*HB2NGC.
+func (p *Protocol) computeNGCDelay() {
+	p.ngcDelay = p.scaleNGC(p.hbDelay)
+}
+
+func (p *Protocol) scaleNGC(hb time.Duration) time.Duration {
+	return time.Duration(float64(hb) * p.cfg.HB2NGC)
+}

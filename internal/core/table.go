@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/topic"
+)
+
+// tableEntry is one stored event with its local bookkeeping (paper
+// Figure 3: id, validity, counter, topic, data).
+type tableEntry struct {
+	ev        event.Event
+	expiresAt time.Duration // local absolute expiry
+	fwd       int           // times this node sent/forwarded the event
+	storedAt  time.Duration
+}
+
+func (e *tableEntry) valid(now time.Duration) bool { return now < e.expiresAt }
+
+// remaining returns the validity left at instant now.
+func (e *tableEntry) remaining(now time.Duration) time.Duration {
+	r := e.expiresAt - now
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// gcScore implements the paper's Equation 1: gc(e) = val(e)/(fwd(e)+val(e))
+// with val expressed in seconds. Lower scores are evicted first, so an
+// event with a long validity that has been forwarded many times goes
+// before a short-lived event that was never propagated.
+func (e *tableEntry) gcScore() float64 {
+	val := e.ev.Validity.Seconds()
+	return val / (float64(e.fwd) + val)
+}
+
+// eventTable stores received/published events organized by topic (paper
+// Figure 3), with capacity-triggered garbage collection.
+type eventTable struct {
+	cap    int // 0 = unbounded
+	policy GCPolicy
+	rng    *rand.Rand // for GCRandom; may be nil otherwise
+	byID   map[event.ID]*tableEntry
+	tree   topic.Tree[*tableEntry]
+}
+
+func newEventTable(capacity int) *eventTable {
+	return &eventTable{cap: capacity, byID: make(map[event.ID]*tableEntry)}
+}
+
+func (t *eventTable) len() int { return len(t.byID) }
+
+func (t *eventTable) has(id event.ID) bool {
+	_, ok := t.byID[id]
+	return ok
+}
+
+func (t *eventTable) get(id event.ID) *tableEntry { return t.byID[id] }
+
+// insert stores ev, evicting via the GC policy when the table is full.
+// It returns the evicted entry, if any. The caller guarantees ev is not
+// already present.
+func (t *eventTable) insert(ev event.Event, now time.Duration) *tableEntry {
+	var evicted *tableEntry
+	if t.cap > 0 && len(t.byID) >= t.cap {
+		evicted = t.garbageCollect(now)
+	}
+	e := &tableEntry{
+		ev:        ev,
+		expiresAt: now + ev.Remaining,
+		storedAt:  now,
+	}
+	t.byID[ev.ID] = e
+	t.tree.Add(ev.Topic, e)
+	return evicted
+}
+
+// garbageCollect removes and returns one entry following the paper's
+// Figure 10: an expired event if one exists, otherwise the entry with the
+// lowest gc score. Ties break on older storedAt, then on id, keeping runs
+// deterministic. GCFIFO/GCRandom are ablation policies.
+func (t *eventTable) garbageCollect(now time.Duration) *tableEntry {
+	var victim *tableEntry
+	for _, e := range t.byID {
+		if !e.valid(now) {
+			// An expired entry displaces any valid victim; among
+			// expired entries the tie-break keeps runs deterministic.
+			if victim == nil || victim.valid(now) || olderID(e, victim) {
+				victim = e
+			}
+			continue
+		}
+		if victim != nil && !victim.valid(now) {
+			continue // expired victims take precedence
+		}
+		if victim == nil || t.lessByPolicy(e, victim) {
+			victim = e
+		}
+	}
+	if victim != nil && t.policy == GCRandom && victim.valid(now) && t.rng != nil {
+		victim = t.randomValid(now, victim)
+	}
+	if victim == nil {
+		return nil
+	}
+	t.remove(victim)
+	return victim
+}
+
+// lessByPolicy orders valid entries by eviction priority under the active
+// policy.
+func (t *eventTable) lessByPolicy(a, b *tableEntry) bool {
+	if t.policy == GCFIFO {
+		return olderID(a, b)
+	}
+	return less(a, b)
+}
+
+// randomValid picks a uniform random valid entry (GCRandom).
+func (t *eventTable) randomValid(now time.Duration, fallback *tableEntry) *tableEntry {
+	valid := t.validEntries(now)
+	if len(valid) == 0 {
+		return fallback
+	}
+	return valid[t.rng.Intn(len(valid))]
+}
+
+// less orders valid entries by eviction priority.
+func less(a, b *tableEntry) bool {
+	as, bs := a.gcScore(), b.gcScore()
+	if as != bs {
+		return as < bs
+	}
+	return olderID(a, b)
+}
+
+func olderID(a, b *tableEntry) bool {
+	if a.storedAt != b.storedAt {
+		return a.storedAt < b.storedAt
+	}
+	if a.ev.ID.Hi != b.ev.ID.Hi {
+		return a.ev.ID.Hi < b.ev.ID.Hi
+	}
+	return a.ev.ID.Lo < b.ev.ID.Lo
+}
+
+func (t *eventTable) remove(e *tableEntry) {
+	delete(t.byID, e.ev.ID)
+	t.tree.RemoveFunc(e.ev.Topic, func(v *tableEntry) bool { return v == e })
+}
+
+// validEntries returns the still-valid entries sorted by id (stable
+// iteration keeps outgoing messages deterministic).
+func (t *eventTable) validEntries(now time.Duration) []*tableEntry {
+	out := make([]*tableEntry, 0, len(t.byID))
+	for _, e := range t.byID {
+		if e.valid(now) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return olderID(out[i], out[j]) })
+	return out
+}
+
+// idsMatching implements the paper's GETEVENTSIDS: identifiers of valid
+// stored events whose topics are covered by subs. The topic tree prunes
+// the walk to the relevant subtrees.
+func (t *eventTable) idsMatching(subs *topic.Set, now time.Duration) []event.ID {
+	seen := make(map[event.ID]bool)
+	var out []event.ID
+	for _, sub := range subs.Topics() {
+		t.tree.WalkSubtree(sub, func(_ topic.Topic, e *tableEntry) bool {
+			if e.valid(now) && !seen[e.ev.ID] {
+				seen[e.ev.ID] = true
+				out = append(out, e.ev.ID)
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hi != out[j].Hi {
+			return out[i].Hi < out[j].Hi
+		}
+		return out[i].Lo < out[j].Lo
+	})
+	return out
+}

@@ -1,0 +1,112 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/topic"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID(rng)
+		if id.IsZero() {
+			t.Fatal("random ID should not be zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDString(t *testing.T) {
+	id := ID{Hi: 0xdead, Lo: 0xbeef}
+	if got := id.String(); got != "000000000000dead000000000000beef" {
+		t.Fatalf("String = %q", got)
+	}
+	if len(id.String()) != 32 {
+		t.Fatal("ID string should be 32 hex digits")
+	}
+}
+
+func TestEventExpired(t *testing.T) {
+	e := Event{Remaining: 10 * time.Second}
+	if e.Expired(5 * time.Second) {
+		t.Fatal("should not be expired at 5s of 10s")
+	}
+	if !e.Expired(10 * time.Second) {
+		t.Fatal("should be expired exactly at remaining")
+	}
+	if !e.Expired(time.Minute) {
+		t.Fatal("should be expired past remaining")
+	}
+}
+
+func TestWithRemaining(t *testing.T) {
+	e := Event{Validity: time.Minute, Remaining: time.Minute}
+	e2 := e.WithRemaining(10 * time.Second)
+	if e2.Remaining != 10*time.Second || e.Remaining != time.Minute {
+		t.Fatal("WithRemaining must copy")
+	}
+	if e.WithRemaining(-time.Second).Remaining != 0 {
+		t.Fatal("negative remaining clamps to zero")
+	}
+	if e2.Validity != time.Minute {
+		t.Fatal("Validity must be preserved")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindHeartbeat, "heartbeat"},
+		{KindIDList, "idlist"},
+		{KindEvents, "events"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	m := DefaultSizeModel()
+	hb := Heartbeat{From: 1, Subscriptions: []topic.Topic{topic.MustParse(".a")}}
+	if got := hb.WireSize(m); got != 50 {
+		t.Errorf("heartbeat size = %d, want 50 (paper)", got)
+	}
+	l := IDList{From: 1, IDs: []ID{{1, 2}, {3, 4}}}
+	if got := l.WireSize(m); got != 8+2*16 {
+		t.Errorf("idlist size = %d, want %d", got, 8+2*16)
+	}
+	ev := Events{From: 1, Events: []Event{{}, {}, {}}, Receivers: []NodeID{7, 9}}
+	if got := ev.WireSize(m); got != 8+3*400+2*4 {
+		t.Errorf("events size = %d, want %d", got, 8+3*400+2*4)
+	}
+}
+
+func TestMessageInterfaces(t *testing.T) {
+	var msgs = []Message{
+		Heartbeat{From: 3},
+		IDList{From: 4},
+		Events{From: 5},
+	}
+	wantKinds := []Kind{KindHeartbeat, KindIDList, KindEvents}
+	wantFrom := []NodeID{3, 4, 5}
+	for i, m := range msgs {
+		if m.Kind() != wantKinds[i] {
+			t.Errorf("msg %d kind = %v", i, m.Kind())
+		}
+		if m.Sender() != wantFrom[i] {
+			t.Errorf("msg %d sender = %v", i, m.Sender())
+		}
+	}
+}

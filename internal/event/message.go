@@ -1,0 +1,122 @@
+package event
+
+import (
+	"fmt"
+
+	"repro/internal/topic"
+)
+
+// Kind discriminates the three wire messages of the protocol.
+type Kind uint8
+
+const (
+	// KindHeartbeat is the periodic neighborhood-detection beacon.
+	KindHeartbeat Kind = iota + 1
+	// KindIDList carries the identifiers of events a node holds.
+	KindIDList
+	// KindEvents carries full events plus the presumed receiver list.
+	KindEvents
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindIDList:
+		return "idlist"
+	case KindEvents:
+		return "events"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one of Heartbeat, IDList or Events.
+type Message interface {
+	// Kind identifies the concrete message type.
+	Kind() Kind
+	// Sender is the node that broadcast the message.
+	Sender() NodeID
+	// WireSize returns the accounted size in bytes under the given
+	// size model (used to reproduce the paper's bandwidth figures).
+	WireSize(m SizeModel) int
+}
+
+// Heartbeat is the phase-1 beacon: identity, subscriptions, and optional
+// current speed (Speed < 0 means unknown; the paper treats speed as an
+// optimization-only hint).
+type Heartbeat struct {
+	From          NodeID
+	Subscriptions []topic.Topic
+	Speed         float64 // m/s; negative when unavailable
+}
+
+// Kind implements Message.
+func (h Heartbeat) Kind() Kind { return KindHeartbeat }
+
+// Sender implements Message.
+func (h Heartbeat) Sender() NodeID { return h.From }
+
+// WireSize implements Message.
+func (h Heartbeat) WireSize(m SizeModel) int { return m.Heartbeat }
+
+// IDList announces the still-valid events its sender holds (restricted to
+// topics of interest to the neighbor that triggered the exchange).
+type IDList struct {
+	From NodeID
+	IDs  []ID
+}
+
+// Kind implements Message.
+func (l IDList) Kind() Kind { return KindIDList }
+
+// Sender implements Message.
+func (l IDList) Sender() NodeID { return l.From }
+
+// WireSize implements Message.
+func (l IDList) WireSize(m SizeModel) int {
+	return m.Header + len(l.IDs)*m.EventID
+}
+
+// Events pushes full events together with the identifiers of the
+// neighbors the sender believes need them. Overhearers use Receivers to
+// update their own neighborhood tables (paper Section 4.3).
+type Events struct {
+	From      NodeID
+	Events    []Event
+	Receivers []NodeID
+}
+
+// Kind implements Message.
+func (e Events) Kind() Kind { return KindEvents }
+
+// Sender implements Message.
+func (e Events) Sender() NodeID { return e.From }
+
+// WireSize implements Message.
+func (e Events) WireSize(m SizeModel) int {
+	return m.Header + len(e.Events)*m.Event + len(e.Receivers)*m.NodeID
+}
+
+// SizeModel fixes the accounted byte cost of protocol elements. The
+// defaults reproduce the paper's evaluation settings: 50-byte heartbeats,
+// 128-bit (16-byte) event identifiers and 400-byte events.
+type SizeModel struct {
+	Heartbeat int // whole heartbeat message
+	EventID   int // one event identifier
+	Event     int // one full event
+	NodeID    int // one node identifier in a receiver list
+	Header    int // fixed per-message framing
+}
+
+// DefaultSizeModel returns the paper's evaluation sizes.
+func DefaultSizeModel() SizeModel {
+	return SizeModel{
+		Heartbeat: 50,
+		EventID:   16,
+		Event:     400,
+		NodeID:    4,
+		Header:    8,
+	}
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out by flipping
+// one mechanism at a time on a fixed mid-size scenario:
+//
+//   - proportional back-off (BODelay ~ 1/|eventsToSend|) vs fixed,
+//   - suppression (cancel-on-overhear) on vs off,
+//   - the event-id pre-exchange vs blind pushing,
+//   - the adaptive heartbeat vs a fixed period,
+//
+// plus the event-table GC policy (Equation 1 vs FIFO vs random) on a
+// memory-starved variant.
+func Ablations(o Options) (*Output, error) {
+	seeds := o.seedCount(3)
+	if o.Full {
+		seeds = o.seedCount(10)
+	}
+	variants := []struct {
+		name string
+		mut  func(*netsim.CoreTuning)
+	}{
+		{"paper", func(*netsim.CoreTuning) {}},
+		{"fixed-backoff", func(c *netsim.CoreTuning) { c.FixedBackoff = true }},
+		{"no-suppression", func(c *netsim.CoreTuning) { c.DisableSuppression = true }},
+		{"blind-push", func(c *netsim.CoreTuning) { c.BlindPush = true }},
+		{"fixed-heartbeat", func(c *netsim.CoreTuning) { c.DisableAdaptiveHB = true }},
+	}
+	tb := metrics.NewTable(
+		"Ablations — mechanism off vs paper design (random waypoint, 10 m/s, 80% subscribers, 5 events)",
+		"variant", "reliability", "bw/process", "events-sent", "duplicates")
+	for _, v := range variants {
+		var rel, bw, sent, dup metrics.Agg
+		for seed := 0; seed < seeds; seed++ {
+			res, err := ablationRun(o, v.mut, 0, int64(seed)+1)
+			if err != nil {
+				return nil, err
+			}
+			rel.Add(res.Reliability())
+			bw.Add(res.AppBytesPerProcess())
+			sent.Add(res.EventsSentPerProcess())
+			dup.Add(res.DuplicatesPerProcess())
+		}
+		tb.AddRow(v.name, metrics.Pct(rel.Mean()), metrics.KB(bw.Mean()),
+			metrics.F1(sent.Mean()), metrics.F1(dup.Mean()))
+		o.progress("ablation %s -> rel=%s", v.name, metrics.Pct(rel.Mean()))
+	}
+
+	gcTable := metrics.NewTable(
+		"Ablations — event-table GC policy under memory pressure (table capacity 3, 8 events)",
+		"policy", "reliability", "evictions/process")
+	for _, pol := range []struct {
+		name   string
+		policy core.GCPolicy
+	}{
+		{"paper (val/(fwd+val))", core.GCPaper},
+		{"fifo", core.GCFIFO},
+		{"random", core.GCRandom},
+	} {
+		var rel, evict metrics.Agg
+		for seed := 0; seed < seeds; seed++ {
+			res, err := ablationRun(o, func(c *netsim.CoreTuning) {
+				c.GCPolicy = pol.policy
+			}, 3, int64(seed)+1)
+			if err != nil {
+				return nil, err
+			}
+			rel.Add(res.Reliability())
+			var ev float64
+			for _, n := range res.Nodes {
+				ev += float64(n.Proto.TableEvictions)
+			}
+			evict.Add(ev / float64(len(res.Nodes)))
+		}
+		gcTable.AddRow(pol.name, metrics.Pct(rel.Mean()), metrics.F1(evict.Mean()))
+		o.progress("gc ablation %s -> rel=%s", pol.name, metrics.Pct(rel.Mean()))
+	}
+	return &Output{Tables: []*metrics.Table{tb, gcTable}}, nil
+}
+
+// ablationRun executes the ablation scenario: random waypoint, 10 m/s,
+// 80% subscribers, events with a validity spanning the window. maxEvents
+// 0 keeps the table unbounded; the GC ablation shrinks it to force
+// evictions (8 events through a 3-slot table).
+func ablationRun(o Options, mut func(*netsim.CoreTuning), maxEvents int, seed int64) (*netsim.Result, error) {
+	env := rwpBase(o)
+	validity := 60 * time.Second
+	if o.Full {
+		validity = 120 * time.Second
+	}
+	sc := rwpScenario(env, 10, 10, 0.8, seed)
+	sc.Name = "ablation"
+	sc.Core.HBUpperBound = 2 * time.Second // leave headroom for the adaptive HB to matter
+	sc.Core.MaxEvents = maxEvents
+	mut(&sc.Core)
+	n := 5
+	if maxEvents > 0 {
+		n = 8 // overflow the table to exercise GC
+	}
+	for i := 0; i < n; i++ {
+		sc.Publications = append(sc.Publications, netsim.Publication{
+			Offset:    time.Duration(i) * 500 * time.Millisecond,
+			Publisher: -1,
+			Validity:  validity,
+		})
+	}
+	sc.Measure = validity
+	return netsim.Run(sc)
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// cityValidity is the validity period used by Figures 13-15 (150 s).
+const cityValidity = 150 * time.Second
+
+// cityRotation measures city-section reliability with every process
+// becoming the original publisher in turn (paper Section 5.2), skipping
+// publishers that are not subscribers in interest sweeps. It returns the
+// overall mean reliability and the per-publisher means.
+func cityRotation(o Options, hbUpper time.Duration, frac float64, validity time.Duration, seeds int) (float64, map[int]float64, error) {
+	perPub := make(map[int]*metrics.Agg)
+	var overall metrics.Agg
+	for seed := 0; seed < seeds; seed++ {
+		for pub := 0; pub < 15; pub++ {
+			sc := cityScenario(hbUpper, frac, int64(seed)+1)
+			sc.Name = "city"
+			res, err := reliabilityRun(sc, pub, validity)
+			if err != nil {
+				return 0, nil, err
+			}
+			if !res.Nodes[pub].Subscribed {
+				continue // interest sweeps rotate among subscribers only
+			}
+			rel := res.Reliability()
+			overall.Add(rel)
+			a := perPub[pub]
+			if a == nil {
+				a = &metrics.Agg{}
+				perPub[pub] = a
+			}
+			a.Add(rel)
+		}
+	}
+	means := make(map[int]float64, len(perPub))
+	for pub, a := range perPub {
+		means[pub] = a.Mean()
+	}
+	return overall.Mean(), means, nil
+}
+
+// Fig13 reproduces Figure 13: probability of event reception as a
+// function of the heartbeat upper-bound period (1-5 s), city section,
+// 100% subscribers, validity 150 s.
+func Fig13(o Options) (*Output, error) {
+	seeds := o.seedCount(3)
+	if o.Full {
+		seeds = o.seedCount(30)
+	}
+	bounds := []time.Duration{
+		time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second, 5 * time.Second,
+	}
+	tb := metrics.NewTable(
+		"Fig 13 — reliability vs heartbeat upper-bound period (city section)",
+		"hb-bound[s]", "reliability")
+	for _, b := range bounds {
+		mean, _, err := cityRotation(o, b, 1.0, cityValidity, seeds)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmtSeconds(b), metrics.Pct(mean))
+		o.progress("fig13 bound=%v -> %s", b, metrics.Pct(mean))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// cityInterestSweep backs Figures 14 and 15: heartbeat bound 1 s,
+// validity 150 s, subscribers 20%..100%. It returns the overall mean and
+// the max-min spread across publishers for each fraction.
+func cityInterestSweep(o Options) (means, spreads map[int]float64, err error) {
+	seeds := o.seedCount(3)
+	if o.Full {
+		seeds = o.seedCount(30)
+	}
+	means = make(map[int]float64)
+	spreads = make(map[int]float64)
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		mean, perPub, err := cityRotation(o, time.Second, frac, cityValidity, seeds)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo, hi := 1.0, 0.0
+		for _, m := range perPub {
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		if len(perPub) == 0 {
+			lo, hi = 0, 0
+		}
+		pct := int(frac*100 + 0.5)
+		means[pct] = mean
+		spreads[pct] = hi - lo
+		o.progress("city interest frac=%v -> mean %s spread %s",
+			frac, metrics.Pct(mean), metrics.Pct(hi-lo))
+	}
+	return means, spreads, nil
+}
+
+// Fig14 reproduces Figure 14: probability of event reception as a
+// function of the number of subscribers (city section).
+func Fig14(o Options) (*Output, error) {
+	means, _, err := cityInterestSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Fig 14 — reliability vs subscribers (city section)",
+		"subscribers", "reliability")
+	for _, pct := range sortedKeysInt(means) {
+		tb.AddRow(fmtPctCol(float64(pct)/100), metrics.Pct(means[pct]))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// Fig15 reproduces Figure 15: the maximum difference between the
+// per-publisher reliabilities (city section), caused by the path each
+// publisher takes.
+func Fig15(o Options) (*Output, error) {
+	_, spreads, err := cityInterestSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Fig 15 — max-min reliability difference between publishers (city section)",
+		"subscribers", "spread")
+	for _, pct := range sortedKeysInt(spreads) {
+		tb.AddRow(fmtPctCol(float64(pct)/100), metrics.Pct(spreads[pct]))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// Fig16 reproduces Figure 16: probability of event reception as a
+// function of the event validity period (city section, heartbeat bound
+// 1 s, 100% subscribers).
+func Fig16(o Options) (*Output, error) {
+	seeds := o.seedCount(3)
+	if o.Full {
+		seeds = o.seedCount(30)
+	}
+	validities := []time.Duration{
+		25 * time.Second, 50 * time.Second, 75 * time.Second,
+		100 * time.Second, 125 * time.Second, 150 * time.Second,
+	}
+	tb := metrics.NewTable(
+		"Fig 16 — reliability vs event validity period (city section)",
+		"validity[s]", "reliability")
+	for _, v := range validities {
+		mean, _, err := cityRotation(o, time.Second, 1.0, v, seeds)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmtSeconds(v), metrics.Pct(mean))
+		o.progress("fig16 validity=%v -> %s", v, metrics.Pct(mean))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}

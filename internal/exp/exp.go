@@ -1,0 +1,214 @@
+// Package exp defines one experiment per figure/table of the paper's
+// evaluation (Section 5) plus the ablations called out in DESIGN.md.
+// Every experiment runs at two scales: the paper's parameters
+// (Options.Full) and a CI-friendly reduction that preserves node density
+// and parameter shapes.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Seeds overrides the number of runs per parameter point (paper:
+	// 30). Zero selects the experiment's default.
+	Seeds int
+	// Full selects the paper-scale parameters; otherwise a scaled-down
+	// variant with the same node density runs.
+	Full bool
+	// Progress, when non-nil, receives one line per completed sweep
+	// point.
+	Progress func(string)
+}
+
+func (o Options) seedCount(def int) int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	return def
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Output is the rendered result of one experiment.
+type Output struct {
+	Tables []*metrics.Table
+}
+
+// String concatenates the tables.
+func (o *Output) String() string {
+	s := ""
+	for i, t := range o.Tables {
+		if i > 0 {
+			s += "\n"
+		}
+		s += t.String()
+	}
+	return s
+}
+
+// Definition registers an experiment.
+type Definition struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Output, error)
+}
+
+// All lists every reproducible figure/table in paper order, then the
+// ablations.
+func All() []Definition {
+	return []Definition{
+		{"fig11", "Reliability vs validity, speed and subscribers (random waypoint)", Fig11},
+		{"fig12", "Reliability vs validity and subscribers, heterogeneous speeds 1-40 m/s", Fig12},
+		{"fig13", "Reliability vs heartbeat upper-bound period (city section)", Fig13},
+		{"fig14", "Reliability vs number of subscribers (city section)", Fig14},
+		{"fig15", "Reliability spread between publishers (city section)", Fig15},
+		{"fig16", "Reliability vs event validity period (city section)", Fig16},
+		{"fig17", "Bandwidth per process vs events and subscribers", Fig17},
+		{"fig18", "Events sent per process vs events and subscribers", Fig18},
+		{"fig19", "Duplicates received per process vs events and subscribers", Fig19},
+		{"fig20", "Parasite events received per process vs events and subscribers", Fig20},
+		{"ablation", "Design-choice ablations (back-off, suppression, id exchange, GC, adaptive HB)", Ablations},
+		{"ext-shadowing", "Extension: reliability under log-normal shadowing", ExtShadowing},
+		{"ext-storm", "Extension: frugal vs broadcast-storm schemes (Ni et al.)", ExtStorm},
+	}
+}
+
+// Lookup finds a definition by id.
+func Lookup(id string) (Definition, bool) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Definition{}, false
+}
+
+// ---- shared environments (paper Section 5.1) ----
+
+// paperRange is the 2 Mbps basic-rate radio range (paper: 339 m).
+const paperRange = 339
+
+// cityRange is the city-section radio range (paper: 44 m).
+const cityRange = 44
+
+// rwpEnv is the random-waypoint environment: N nodes on an area with the
+// paper's density (150 nodes per 25 km^2 = 6 per km^2).
+type rwpEnv struct {
+	nodes  int
+	area   geo.Rect
+	warmup time.Duration
+}
+
+func rwpBase(o Options) rwpEnv {
+	if o.Full {
+		// Paper: 150 processes, 25 km^2, first 600 s discarded.
+		return rwpEnv{nodes: 150, area: geo.NewRect(5000, 5000), warmup: 600 * time.Second}
+	}
+	// Same 6 nodes/km^2 density at 50 nodes: area 8.33 km^2.
+	return rwpEnv{nodes: 50, area: geo.NewRect(2887, 2887), warmup: 60 * time.Second}
+}
+
+// rwpScenario builds the paper's random-waypoint scenario skeleton.
+func rwpScenario(env rwpEnv, minSpeed, maxSpeed float64, frac float64, seed int64) netsim.Scenario {
+	kind := netsim.RandomWaypoint
+	if maxSpeed == 0 {
+		kind = netsim.StaticNodes
+	}
+	return netsim.Scenario{
+		Nodes: env.nodes,
+		Seed:  seed,
+		Mobility: netsim.MobilitySpec{
+			Kind:     kind,
+			Area:     env.area,
+			MinSpeed: minSpeed,
+			MaxSpeed: maxSpeed,
+			Pause:    time.Second, // paper: pause time always 1 s
+		},
+		MAC: mac.DefaultConfig(paperRange),
+		Core: netsim.CoreTuning{
+			HBUpperBound: time.Second, // paper: RWP heartbeat upper bound 1 s
+			UseSpeed:     true,
+		},
+		SubscriberFraction: frac,
+		Warmup:             env.warmup,
+	}
+}
+
+// cityScenario builds the paper's city-section scenario skeleton: 15
+// processes on the campus street network, 8-13 m/s road limits,
+// stochastic stops.
+func cityScenario(hbUpper time.Duration, frac float64, seed int64) netsim.Scenario {
+	return netsim.Scenario{
+		Nodes: 15,
+		Seed:  seed,
+		Mobility: netsim.MobilitySpec{
+			Kind:      netsim.CitySection,
+			StopProb:  0.3,
+			StopMin:   2 * time.Second,
+			StopMax:   10 * time.Second,
+			DestPause: 5 * time.Second,
+		},
+		MAC: mac.DefaultConfig(cityRange),
+		Core: netsim.CoreTuning{
+			HBUpperBound: hbUpper,
+			UseSpeed:     true, // heartbeats track the 8-13 m/s road speeds
+		},
+		SubscriberFraction: frac,
+		Warmup:             30 * time.Second,
+	}
+}
+
+// reliabilityRun executes one (scenario, publisher, validity) reliability
+// measurement: a single event published at the start of the measurement
+// window.
+func reliabilityRun(sc netsim.Scenario, publisher int, validity time.Duration) (*netsim.Result, error) {
+	sc.Publications = []netsim.Publication{{
+		Offset:    0,
+		Publisher: publisher,
+		Validity:  validity,
+	}}
+	sc.Measure = validity + 5*time.Second
+	return netsim.Run(sc)
+}
+
+// reliabilityPoint is reliabilityRun reduced to the reliability number.
+func reliabilityPoint(sc netsim.Scenario, publisher int, validity time.Duration) (float64, error) {
+	res, err := reliabilityRun(sc, publisher, validity)
+	if err != nil {
+		return 0, err
+	}
+	return res.Reliability(), nil
+}
+
+// fmtSeconds renders a duration in whole seconds for table headers.
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%d", int(d.Seconds()))
+}
+
+// fmtPctCol renders a fraction as a column header like "80%".
+func fmtPctCol(frac float64) string {
+	return fmt.Sprintf("%d%%", int(frac*100+0.5))
+}
+
+// sortedKeysInt is a tiny helper for deterministic map iteration.
+func sortedKeysInt[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

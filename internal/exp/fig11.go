@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Fig11 reproduces Figure 11: probability of event reception as a
+// function of the validity period, the speed of the processes and the
+// number of subscribers (20% and 80%), in the random waypoint model.
+// One table per subscriber fraction; rows are validity periods, columns
+// speeds.
+func Fig11(o Options) (*Output, error) {
+	env := rwpBase(o)
+	speeds := []float64{0, 1, 5, 10, 20, 30, 40}
+	validities := []time.Duration{
+		20 * time.Second, 60 * time.Second, 100 * time.Second,
+		140 * time.Second, 180 * time.Second,
+	}
+	seeds := o.seedCount(5)
+	if o.Full {
+		seeds = o.seedCount(30)
+		validities = []time.Duration{
+			20 * time.Second, 40 * time.Second, 60 * time.Second,
+			80 * time.Second, 100 * time.Second, 120 * time.Second,
+			140 * time.Second, 160 * time.Second, 180 * time.Second,
+		}
+	} else {
+		speeds = []float64{0, 1, 10, 30}
+	}
+
+	out := &Output{}
+	for _, frac := range []float64{0.2, 0.8} {
+		cols := []string{"validity[s]"}
+		for _, s := range speeds {
+			cols = append(cols, metrics.F1(s)+"mps")
+		}
+		tb := metrics.NewTable(
+			"Fig 11 — reliability, random waypoint, "+fmtPctCol(frac)+" subscribers",
+			cols...)
+		for _, v := range validities {
+			row := []string{fmtSeconds(v)}
+			for _, speed := range speeds {
+				var agg metrics.Agg
+				for seed := 0; seed < seeds; seed++ {
+					sc := rwpScenario(env, speed, speed, frac, int64(seed)+1)
+					sc.Name = "fig11"
+					rel, err := reliabilityPoint(sc, -1, v)
+					if err != nil {
+						return nil, err
+					}
+					agg.Add(rel)
+				}
+				row = append(row, metrics.Pct(agg.Mean()))
+				o.progress("fig11 frac=%v speed=%v validity=%v -> %s",
+					frac, speed, v, metrics.Pct(agg.Mean()))
+			}
+			tb.AddRow(row...)
+		}
+		out.Tables = append(out.Tables, tb)
+	}
+	return out, nil
+}

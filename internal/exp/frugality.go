@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// The frugality experiments (Figures 17-20) share one parameter sweep:
+// random waypoint at 10 m/s, events 1..20 of 400 bytes with 180 s
+// validity, subscribers 20%..100%, comparing the frugal protocol against
+// the three flooding baselines. The sweep is memoized so that regenerating
+// all four figures costs one pass.
+
+type frugalCell struct {
+	bandwidth metrics.Agg // app bytes sent per process
+	sent      metrics.Agg // event copies sent per process
+	dups      metrics.Agg // duplicates received per process
+	parasites metrics.Agg // parasite events received per process
+}
+
+type frugalKey struct {
+	proto  netsim.ProtocolKind
+	events int
+	pct    int
+}
+
+type frugalData struct {
+	protocols []netsim.ProtocolKind
+	events    []int
+	pcts      []int
+	cells     map[frugalKey]*frugalCell
+	validity  time.Duration
+}
+
+var frugalMemo = struct {
+	sync.Mutex
+	m map[[2]int]*frugalData // key: {seeds, full}
+}{m: make(map[[2]int]*frugalData)}
+
+func frugalitySweep(o Options) (*frugalData, error) {
+	seeds := o.seedCount(2)
+	validity := 60 * time.Second
+	events := []int{1, 5, 10}
+	pcts := []int{20, 60, 100}
+	if o.Full {
+		seeds = o.seedCount(10)
+		validity = 180 * time.Second // paper: 180 s measurement window
+		events = []int{1, 5, 10, 15, 20}
+		pcts = []int{20, 40, 60, 80, 100}
+	}
+	memoKey := [2]int{seeds, boolInt(o.Full)}
+	frugalMemo.Lock()
+	if d, ok := frugalMemo.m[memoKey]; ok {
+		frugalMemo.Unlock()
+		return d, nil
+	}
+	frugalMemo.Unlock()
+
+	env := rwpBase(o)
+	protocols := []netsim.ProtocolKind{
+		netsim.Frugal, netsim.FloodInterest, netsim.FloodSimple, netsim.FloodNeighbors,
+	}
+	data := &frugalData{
+		protocols: protocols,
+		events:    events,
+		pcts:      pcts,
+		cells:     make(map[frugalKey]*frugalCell),
+		validity:  validity,
+	}
+	for _, proto := range protocols {
+		for _, n := range events {
+			for _, pct := range pcts {
+				cell := &frugalCell{}
+				for seed := 0; seed < seeds; seed++ {
+					res, err := frugalityRun(env, proto, n, pct, validity, int64(seed)+1)
+					if err != nil {
+						return nil, err
+					}
+					cell.bandwidth.Add(res.AppBytesPerProcess())
+					cell.sent.Add(res.EventsSentPerProcess())
+					cell.dups.Add(res.DuplicatesPerProcess())
+					cell.parasites.Add(res.ParasitesPerProcess())
+				}
+				data.cells[frugalKey{proto, n, pct}] = cell
+				o.progress("frugality %v events=%d interest=%d%% -> bw=%s sent=%.1f dup=%.1f par=%.1f",
+					proto, n, pct, metrics.KB(cell.bandwidth.Mean()),
+					cell.sent.Mean(), cell.dups.Mean(), cell.parasites.Mean())
+			}
+		}
+	}
+	frugalMemo.Lock()
+	frugalMemo.m[memoKey] = data
+	frugalMemo.Unlock()
+	return data, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// frugalityRun executes one frugality scenario: n events published by
+// random subscribers shortly after warm-up, all with the full-window
+// validity (the paper publishes 1-20 events of 400 bytes and measures for
+// 180 s at 10 m/s).
+func frugalityRun(env rwpEnv, proto netsim.ProtocolKind, n, pct int, validity time.Duration, seed int64) (*netsim.Result, error) {
+	sc := rwpScenario(env, 10, 10, float64(pct)/100, seed)
+	sc.Name = fmt.Sprintf("frugality-%v", proto)
+	sc.Protocol = proto
+	for i := 0; i < n; i++ {
+		sc.Publications = append(sc.Publications, netsim.Publication{
+			Offset:    time.Duration(i) * 500 * time.Millisecond,
+			Publisher: -1,
+			Validity:  validity,
+		})
+	}
+	sc.Measure = validity
+	return netsim.Run(sc)
+}
+
+// renderFrugality turns the sweep into one table: rows are
+// (protocol, events-to-publish), columns the subscriber percentages.
+func renderFrugality(d *frugalData, title string, value func(*frugalCell) string) *metrics.Table {
+	cols := []string{"protocol", "events"}
+	for _, pct := range d.pcts {
+		cols = append(cols, fmt.Sprintf("%d%%", pct))
+	}
+	tb := metrics.NewTable(title, cols...)
+	for _, proto := range d.protocols {
+		for _, n := range d.events {
+			row := []string{proto.String(), fmt.Sprintf("%d", n)}
+			for _, pct := range d.pcts {
+				row = append(row, value(d.cells[frugalKey{proto, n, pct}]))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb
+}
+
+// Fig17 reproduces Figure 17: bandwidth used per process as a function of
+// the number of events to publish and the number of subscribers.
+func Fig17(o Options) (*Output, error) {
+	d, err := frugalitySweep(o)
+	if err != nil {
+		return nil, err
+	}
+	tb := renderFrugality(d,
+		fmt.Sprintf("Fig 17 — bandwidth per process over %s (app bytes: heartbeats + id lists + events)", d.validity),
+		func(c *frugalCell) string { return metrics.KB(c.bandwidth.Mean()) })
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// Fig18 reproduces Figure 18: number of events sent per process.
+func Fig18(o Options) (*Output, error) {
+	d, err := frugalitySweep(o)
+	if err != nil {
+		return nil, err
+	}
+	tb := renderFrugality(d,
+		"Fig 18 — events sent per process",
+		func(c *frugalCell) string { return metrics.F1(c.sent.Mean()) })
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// Fig19 reproduces Figure 19: number of duplicates received per process.
+func Fig19(o Options) (*Output, error) {
+	d, err := frugalitySweep(o)
+	if err != nil {
+		return nil, err
+	}
+	tb := renderFrugality(d,
+		"Fig 19 — duplicates received per process",
+		func(c *frugalCell) string { return metrics.F1(c.dups.Mean()) })
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// Fig20 reproduces Figure 20: number of parasite events received per
+// process.
+func Fig20(o Options) (*Output, error) {
+	d, err := frugalitySweep(o)
+	if err != nil {
+		return nil, err
+	}
+	tb := renderFrugality(d,
+		"Fig 20 — parasite events received per process",
+		func(c *frugalCell) string { return metrics.F1(c.parasites.Mean()) })
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// ExtStorm is an extension beyond the paper's figures, motivated by its
+// related-work discussion (Section 6): how do the classic broadcast-storm
+// countermeasures — probabilistic and counter-based single-shot
+// broadcast (Ni et al.) — fare in the paper's mobile, sparse environment?
+// Being single-shot, they cannot exploit node mobility or event validity:
+// the broadcast wave only covers the connected component at publication
+// time, so their reliability barely grows with validity while the frugal
+// protocol's climbs. Their traffic is low, but so is their coverage.
+func ExtStorm(o Options) (*Output, error) {
+	seeds := o.seedCount(5)
+	if o.Full {
+		seeds = o.seedCount(30)
+	}
+	env := rwpBase(o)
+	validities := []time.Duration{30 * time.Second, 90 * time.Second, 180 * time.Second}
+	protocols := []netsim.ProtocolKind{
+		netsim.Frugal, netsim.StormProbabilistic, netsim.StormCounter,
+	}
+
+	rel := metrics.NewTable(
+		"Extension — reliability: frugal vs broadcast-storm schemes (10 m/s, 80% subscribers)",
+		"validity[s]", "frugal", "probabilistic", "counter-based")
+	traffic := metrics.NewTable(
+		"Extension — event copies sent per process (validity 180 s)",
+		"protocol", "copies/process")
+
+	for _, v := range validities {
+		row := []string{fmtSeconds(v)}
+		for _, proto := range protocols {
+			var agg metrics.Agg
+			var sent metrics.Agg
+			for seed := 0; seed < seeds; seed++ {
+				sc := rwpScenario(env, 10, 10, 0.8, int64(seed)+1)
+				sc.Name = "ext-storm"
+				sc.Protocol = proto
+				res, err := reliabilityRun(sc, -1, v)
+				if err != nil {
+					return nil, err
+				}
+				agg.Add(res.Reliability())
+				sent.Add(res.EventsSentPerProcess())
+			}
+			row = append(row, metrics.Pct(agg.Mean()))
+			if v == validities[len(validities)-1] {
+				traffic.AddRow(proto.String(), metrics.F2(sent.Mean()))
+			}
+			o.progress("storm %v validity=%v -> %s", proto, v, metrics.Pct(agg.Mean()))
+		}
+		rel.AddRow(row...)
+	}
+	return &Output{Tables: []*metrics.Table{rel, traffic}}, nil
+}

@@ -1,0 +1,123 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, 0), Pt(1, 0), 2},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almost(got, tt.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.Dist2(tt.q); !almost(got, tt.want*tt.want) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(100, 50)
+	if r.Width() != 100 || r.Height() != 50 || r.Area() != 5000 {
+		t.Fatalf("dims wrong: %v", r)
+	}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(100, 50)) || !r.Contains(Pt(50, 25)) {
+		t.Fatal("Contains should include borders and interior")
+	}
+	if r.Contains(Pt(-1, 0)) || r.Contains(Pt(0, 51)) {
+		t.Fatal("Contains should exclude outside points")
+	}
+	if got := r.Center(); got != Pt(50, 25) {
+		t.Fatalf("Center = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := NewRect(10, 10)
+	tests := []struct{ in, want Point }{
+		{Pt(-5, 5), Pt(0, 5)},
+		{Pt(15, 15), Pt(10, 10)},
+		{Pt(5, 5), Pt(5, 5)},
+	}
+	for _, tt := range tests {
+		if got := r.Clamp(tt.in); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistMetricProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Constrain to a sane range to avoid overflow-induced noise.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Pt(clamp(ax), clamp(ay))
+		b := Pt(clamp(bx), clamp(by))
+		c := Pt(clamp(cx), clamp(cy))
+		if !almost(a.Dist(b), b.Dist(a)) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clamp always lands inside the rectangle and is idempotent.
+func TestClampProperty(t *testing.T) {
+	r := NewRect(1000, 900)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := r.Clamp(Pt(x, y))
+		return r.Contains(p) && r.Clamp(p) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package mac simulates a broadcast-only 802.11b-style medium access
+// layer: CSMA carrier sensing with DIFS and slotted random back-off,
+// transmission airtime derived from the bitrate, hidden-terminal
+// collisions, and half-duplex receivers.
+//
+// The model intentionally captures exactly the phenomena the paper's
+// protocol reacts to — losses from colliding broadcasts (the cause of the
+// Figure 13 non-monotonicity) and airtime occupancy — without modeling
+// 802.11 unicast machinery (RTS/CTS, ACKs, retries), which broadcast
+// frames do not use.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the medium. The defaults model 802.11b broadcast
+// at the 2 Mbps basic rate.
+type Config struct {
+	// BitrateBps is the broadcast bitrate (802.11b basic rate: 2 Mbps).
+	BitrateBps float64
+	// Range is the reception radius in meters.
+	Range float64
+	// CarrierSenseRange is the radius within which a transmitter is
+	// heard as channel-busy; 0 means Range.
+	CarrierSenseRange float64
+	// InterferenceRange is the radius within which a concurrent foreign
+	// transmission corrupts reception; 0 means Range.
+	InterferenceRange float64
+	// SlotTime is the contention slot (802.11b: 20 us).
+	SlotTime time.Duration
+	// DIFS is the idle period sensed before transmitting (50 us).
+	DIFS time.Duration
+	// CWSlots is the contention window size in slots (802.11b CWmin+1 = 32).
+	CWSlots int
+	// Preamble is the PHY preamble+PLCP airtime (long preamble: 192 us).
+	Preamble time.Duration
+	// HeaderBytes is the MAC framing overhead added to every frame.
+	HeaderBytes int
+	// QueueCap bounds the per-node outgoing queue; 0 means unbounded.
+	QueueCap int
+	// ReceiveProb, when non-nil, makes reception probabilistic: a frame
+	// arriving from distance d meters is received with probability
+	// ReceiveProb(d) (see radio.Shadowing). Range then acts as a
+	// pruning radius — set it to the model's MaxRange. Nil keeps the
+	// deterministic unit disc.
+	ReceiveProb func(d float64) float64
+}
+
+// DefaultConfig returns an 802.11b broadcast medium with the given
+// reception radius.
+func DefaultConfig(rangeM float64) Config {
+	return Config{
+		BitrateBps:  2e6,
+		Range:       rangeM,
+		SlotTime:    20 * time.Microsecond,
+		DIFS:        50 * time.Microsecond,
+		CWSlots:     32,
+		Preamble:    192 * time.Microsecond,
+		HeaderBytes: 28,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BitrateBps <= 0 {
+		return fmt.Errorf("mac: bitrate %v", c.BitrateBps)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("mac: range %v", c.Range)
+	}
+	if c.SlotTime <= 0 || c.DIFS < 0 || c.CWSlots < 1 {
+		return fmt.Errorf("mac: bad contention params")
+	}
+	if c.HeaderBytes < 0 || c.QueueCap < 0 || c.Preamble < 0 {
+		return fmt.Errorf("mac: negative sizes")
+	}
+	return nil
+}
+
+func (c Config) csRange() float64 {
+	if c.CarrierSenseRange > 0 {
+		return c.CarrierSenseRange
+	}
+	return c.Range
+}
+
+func (c Config) ifRange() float64 {
+	if c.InterferenceRange > 0 {
+		return c.InterferenceRange
+	}
+	return c.Range
+}
+
+// Airtime returns the on-air duration of a frame carrying appBytes of
+// payload.
+func (c Config) Airtime(appBytes int) time.Duration {
+	bits := float64(appBytes+c.HeaderBytes) * 8
+	return c.Preamble + time.Duration(bits/c.BitrateBps*float64(time.Second))
+}
+
+// Locator supplies node positions to the medium.
+type Locator interface {
+	Position(id event.NodeID, at sim.Time) geo.Point
+}
+
+// Frame is a broadcast MAC frame. AppBytes is the accounted payload size
+// under the experiment's size model (the simulator does not serialize
+// messages; it passes them by value and charges the modeled size).
+type Frame struct {
+	From     event.NodeID
+	Msg      event.Message
+	AppBytes int
+}
+
+// transmission is one on-air frame.
+type transmission struct {
+	from       event.NodeID
+	pos        geo.Point
+	start, end sim.Time
+}
+
+func (t *transmission) overlaps(o *transmission) bool {
+	return t.start < o.end && o.start < t.end
+}
+
+// Counters aggregates per-node MAC statistics.
+type Counters struct {
+	FramesSent     uint64
+	AppBytesSent   uint64
+	MACBytesSent   uint64
+	FramesReceived uint64
+	FramesLost     uint64 // in range, corrupted by collision or half-duplex
+	FramesFaded    uint64 // in range, lost to the probabilistic channel
+	QueueDrops     uint64
+	Defers         uint64 // attempts postponed by carrier sense
+}
+
+// Medium is the shared broadcast channel. Attach every node before
+// running the simulation. Medium is driven entirely by the sim engine and
+// is not safe for concurrent use.
+type Medium struct {
+	eng   *sim.Engine
+	cfg   Config
+	loc   Locator
+	rng   *rand.Rand
+	ports map[event.NodeID]*Port
+	order []event.NodeID // deterministic iteration order
+
+	live []*transmission // on-air or recently ended (pruned lazily)
+}
+
+// New creates a medium. It panics on invalid configuration.
+func New(eng *sim.Engine, cfg Config, loc Locator) *Medium {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Medium{
+		eng:   eng,
+		cfg:   cfg,
+		loc:   loc,
+		rng:   eng.NewRand(),
+		ports: make(map[event.NodeID]*Port),
+	}
+}
+
+// Config returns the medium configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Attach registers node id with receive callback rx (may be nil for a
+// deaf node) and returns its port. Attaching the same id twice panics.
+func (m *Medium) Attach(id event.NodeID, rx func(Frame)) *Port {
+	if _, dup := m.ports[id]; dup {
+		panic(fmt.Sprintf("mac: node %v attached twice", id))
+	}
+	p := &Port{m: m, id: id, rx: rx}
+	m.ports[id] = p
+	m.order = append(m.order, id)
+	return p
+}
+
+// Port is a node's attachment to the medium.
+type Port struct {
+	m       *Medium
+	id      event.NodeID
+	rx      func(Frame)
+	queue   []Frame
+	sending bool
+	c       Counters
+}
+
+// ID returns the attached node id.
+func (p *Port) ID() event.NodeID { return p.id }
+
+// Counters returns a snapshot of the port's statistics.
+func (p *Port) Counters() Counters { return p.c }
+
+// Broadcast queues msg for one-hop broadcast. appBytes is the accounted
+// application-layer size (see Frame). Delivery happens after carrier
+// sensing, back-off and airtime; there is no feedback to the sender, as
+// with real broadcast frames.
+func (p *Port) Broadcast(msg event.Message, appBytes int) {
+	if p.m.cfg.QueueCap > 0 && len(p.queue) >= p.m.cfg.QueueCap {
+		p.c.QueueDrops++
+		return
+	}
+	p.queue = append(p.queue, Frame{From: p.id, Msg: msg, AppBytes: appBytes})
+	if !p.sending {
+		p.sending = true
+		p.attempt()
+	}
+}
+
+// attempt runs one CSMA contention round for the head-of-queue frame.
+func (p *Port) attempt() {
+	m := p.m
+	now := m.eng.Now()
+	pos := m.loc.Position(p.id, now)
+	if until, busy := m.busyUntil(p.id, pos, now); busy {
+		p.c.Defers++
+		jitter := time.Duration(m.rng.Intn(m.cfg.CWSlots)) * m.cfg.SlotTime
+		m.eng.At(until.Add(m.cfg.DIFS+jitter), p.attempt)
+		return
+	}
+	backoff := m.cfg.DIFS + time.Duration(m.rng.Intn(m.cfg.CWSlots))*m.cfg.SlotTime
+	m.eng.After(backoff, p.startTx)
+}
+
+// startTx begins transmission if the channel is still idle, otherwise
+// re-contends.
+func (p *Port) startTx() {
+	m := p.m
+	now := m.eng.Now()
+	pos := m.loc.Position(p.id, now)
+	if _, busy := m.busyUntil(p.id, pos, now); busy {
+		p.attempt()
+		return
+	}
+	frame := p.queue[0]
+	tx := &transmission{
+		from:  p.id,
+		pos:   pos,
+		start: now,
+		end:   now.Add(m.cfg.Airtime(frame.AppBytes)),
+	}
+	m.live = append(m.live, tx)
+	p.c.FramesSent++
+	p.c.AppBytesSent += uint64(frame.AppBytes)
+	p.c.MACBytesSent += uint64(frame.AppBytes + m.cfg.HeaderBytes)
+	m.eng.At(tx.end, func() { p.finishTx(tx, frame) })
+}
+
+// finishTx delivers the frame to every receiver that heard it cleanly and
+// then continues with the queue.
+func (p *Port) finishTx(tx *transmission, frame Frame) {
+	m := p.m
+	for _, id := range m.order {
+		if id == p.id {
+			continue
+		}
+		q := m.ports[id]
+		rpos := m.loc.Position(id, tx.end)
+		d := tx.pos.Dist(rpos)
+		if d > m.cfg.Range {
+			continue // out of range: not even noise
+		}
+		if m.cfg.ReceiveProb != nil && m.rng.Float64() >= m.cfg.ReceiveProb(d) {
+			q.c.FramesFaded++
+			continue
+		}
+		if m.corrupted(tx, id, rpos) {
+			q.c.FramesLost++
+			continue
+		}
+		q.c.FramesReceived++
+		if q.rx != nil {
+			q.rx(frame)
+		}
+	}
+	m.prune()
+	p.queue = p.queue[1:]
+	if len(p.queue) > 0 {
+		p.attempt()
+	} else {
+		p.sending = false
+	}
+}
+
+// busyUntil reports whether the channel is busy at pos as sensed by node
+// self, and until when. Transmissions starting exactly now are not
+// sensed — two nodes whose back-offs land on the same slot both fire and
+// collide, as on real hardware.
+func (m *Medium) busyUntil(self event.NodeID, pos geo.Point, now sim.Time) (sim.Time, bool) {
+	var until sim.Time
+	busy := false
+	for _, t := range m.live {
+		if t.from == self || t.end <= now || t.start >= now {
+			continue
+		}
+		if t.pos.Dist(pos) <= m.cfg.csRange() {
+			busy = true
+			if t.end > until {
+				until = t.end
+			}
+		}
+	}
+	return until, busy
+}
+
+// corrupted reports whether reception of tx at node r (located at rpos)
+// fails, either because r was itself transmitting (half-duplex) or
+// because a concurrent foreign transmission interfered (hidden terminal).
+func (m *Medium) corrupted(tx *transmission, r event.NodeID, rpos geo.Point) bool {
+	for _, t := range m.live {
+		if t == tx || !t.overlaps(tx) {
+			continue
+		}
+		if t.from == r {
+			return true // half-duplex: r was talking
+		}
+		if t.pos.Dist(rpos) <= m.cfg.ifRange() {
+			return true // interference at the receiver
+		}
+	}
+	return false
+}
+
+// prune drops transmissions that can no longer overlap anything on air.
+func (m *Medium) prune() {
+	now := m.eng.Now()
+	const keep = sim.Time(100 * sim.Millisecond)
+	kept := m.live[:0]
+	for _, t := range m.live {
+		if t.end+keep > now {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(m.live); i++ {
+		m.live[i] = nil
+	}
+	m.live = kept
+}

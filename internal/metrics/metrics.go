@@ -1,0 +1,146 @@
+// Package metrics provides the statistics plumbing for the experiment
+// harness: streaming mean/deviation accumulators, multi-seed aggregation
+// and plain-text table rendering in the shape of the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Agg is a streaming aggregator (Welford's algorithm). The zero value is
+// ready to use.
+type Agg struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the aggregate.
+func (a *Agg) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Agg) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Agg) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance.
+func (a *Agg) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (a *Agg) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Mean averages a slice; it returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	var a Agg
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Mean()
+}
+
+// Std returns the unbiased standard deviation of a slice.
+func Std(xs []float64) float64 {
+	var a Agg
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Std()
+}
+
+// Table is a simple aligned text table, used to print the paper's
+// figure/table data.
+type Table struct {
+	Title string
+	Cols  []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Cols))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage with one decimal, e.g. 0.769 ->
+// "76.9%".
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// F1 formats a float with one decimal.
+func F1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// KB formats a byte count as kilobytes with one decimal.
+func KB(bytes float64) string { return fmt.Sprintf("%.1fkB", bytes/1000) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.125, 1.5}, // interpolated
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty input should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single sample = %v", got)
+	}
+	// Out-of-range q clamps.
+	if got := Quantile([]float64{1, 2}, -1); got != 1 {
+		t.Fatalf("q<0 = %v", got)
+	}
+	if got := Quantile([]float64{1, 2}, 2); got != 2 {
+		t.Fatalf("q>1 = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median = %v", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 || v < sorted[0]-1e-9 || v > sorted[n-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range = %d,%d, want 1,2", under, over)
+	}
+	// Bins: [0,2) [2,4) [4,6) [6,8) [8,10)
+	want := []int{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	lo, hi := h.Bucket(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("Bucket(1) = [%v,%v)", lo, hi)
+	}
+}
+
+func TestHistogramDegenerateConfig(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // max<=min and bins<1 both repaired
+	h.Add(5)
+	if h.N() != 1 {
+		t.Fatal("degenerate histogram unusable")
+	}
+}

@@ -1,0 +1,74 @@
+package mobility
+
+import "repro/internal/geo"
+
+// NewCampusGraph builds the synthetic stand-in for the EPFL campus map
+// used by the paper's city-section runs (the real map and its measured
+// traffic are not available; see DESIGN.md "Substitutions").
+//
+// The campus is a 1200x900 m street grid (matching the paper's stated
+// extent) with 150 m blocks. Two arterial roads — one horizontal, one
+// vertical, crossing near the center — carry high popularity weight and a
+// 13 m/s limit; side streets carry weight 1 and limits cycling through
+// 8-11 m/s. This reproduces the statistical structure the paper relies
+// on: most trips funnel through a few hot-spot roads where processes
+// meet, while speeds stay within the stated 8-13 m/s band.
+func NewCampusGraph() *Graph {
+	const (
+		cols    = 9 // 9 columns x 150 m = 1200 m
+		rows    = 7 // 7 rows x 150 m = 900 m
+		spacing = 150.0
+
+		arterialRow    = 3
+		arterialCol    = 4
+		arterialLimit  = 13.0
+		arterialWeight = 6.0
+	)
+	g := &Graph{}
+	idx := func(c, r int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddIntersection(geo.Pt(float64(c)*spacing, float64(r)*spacing))
+		}
+	}
+	sideLimit := func(c, r int) float64 { return 8 + float64((c+r)%4) } // 8..11 m/s
+	// Horizontal streets.
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			limit, weight := sideLimit(c, r), 1.0
+			if r == arterialRow {
+				limit, weight = arterialLimit, arterialWeight
+			}
+			mustStreet(g, idx(c, r), idx(c+1, r), limit, weight)
+		}
+	}
+	// Vertical streets.
+	for c := 0; c < cols; c++ {
+		for r := 0; r+1 < rows; r++ {
+			limit, weight := sideLimit(c, r), 1.0
+			if c == arterialCol {
+				limit, weight = arterialLimit, arterialWeight
+			}
+			mustStreet(g, idx(c, r), idx(c, r+1), limit, weight)
+		}
+	}
+	// A pair of one-way rings around the central blocks exercises the
+	// paper's "one way lanes" guideline without breaking connectivity.
+	ring := []int{idx(3, 2), idx(5, 2), idx(5, 4), idx(3, 4)}
+	for i := range ring {
+		mustRoad(g, ring[i], ring[(i+1)%len(ring)], 9, 2)
+	}
+	return g
+}
+
+func mustStreet(g *Graph, a, b int, limit, weight float64) {
+	if err := g.AddStreet(a, b, limit, weight); err != nil {
+		panic(err)
+	}
+}
+
+func mustRoad(g *Graph, a, b int, limit, weight float64) {
+	if err := g.AddRoad(a, b, limit, weight); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,214 @@
+package mobility
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Graph is a street network for the city-section model: intersections
+// joined by directed roads with speed limits and popularity weights.
+// Two-way streets are represented as a pair of directed roads.
+type Graph struct {
+	points []geo.Point
+	adj    [][]Road
+}
+
+// Road is a directed street from an implicit source intersection to
+// intersection To.
+type Road struct {
+	// To is the destination intersection index.
+	To int
+	// Length is the road length in meters.
+	Length float64
+	// SpeedLimit is the legal driving speed in m/s (the paper's campus
+	// uses 8-13 m/s limits).
+	SpeedLimit float64
+	// Weight expresses how popular the road is; destination choice is
+	// biased toward intersections on heavy roads, modeling the paper's
+	// "some roads are more often used than others".
+	Weight float64
+}
+
+// AddIntersection appends an intersection and returns its index.
+func (g *Graph) AddIntersection(p geo.Point) int {
+	g.points = append(g.points, p)
+	g.adj = append(g.adj, nil)
+	return len(g.points) - 1
+}
+
+// Intersections returns the number of intersections.
+func (g *Graph) Intersections() int { return len(g.points) }
+
+// Point returns the location of intersection i.
+func (g *Graph) Point(i int) geo.Point { return g.points[i] }
+
+// Roads returns the directed roads leaving intersection i.
+func (g *Graph) Roads(i int) []Road { return g.adj[i] }
+
+// AddRoad adds a directed road a->b; AddStreet adds both directions.
+func (g *Graph) AddRoad(a, b int, speedLimit, weight float64) error {
+	if a < 0 || a >= len(g.points) || b < 0 || b >= len(g.points) || a == b {
+		return fmt.Errorf("mobility: bad road %d->%d", a, b)
+	}
+	if speedLimit <= 0 || weight <= 0 {
+		return fmt.Errorf("mobility: bad road params limit=%v weight=%v", speedLimit, weight)
+	}
+	g.adj[a] = append(g.adj[a], Road{
+		To:         b,
+		Length:     g.points[a].Dist(g.points[b]),
+		SpeedLimit: speedLimit,
+		Weight:     weight,
+	})
+	return nil
+}
+
+// AddStreet adds a two-way street between a and b.
+func (g *Graph) AddStreet(a, b int, speedLimit, weight float64) error {
+	if err := g.AddRoad(a, b, speedLimit, weight); err != nil {
+		return err
+	}
+	return g.AddRoad(b, a, speedLimit, weight)
+}
+
+// Popularity returns the sum of weights of roads incident to i (in either
+// direction); used to bias destination choice toward busy spots.
+func (g *Graph) Popularity(i int) float64 {
+	var w float64
+	for _, r := range g.adj[i] {
+		w += r.Weight
+	}
+	for a := range g.adj {
+		for _, r := range g.adj[a] {
+			if r.To == i {
+				w += r.Weight
+			}
+		}
+	}
+	return w
+}
+
+// ErrUnreachable is returned when no path exists between intersections.
+var ErrUnreachable = errors.New("mobility: unreachable intersection")
+
+// ShortestPath returns the minimum-travel-time path from a to b as a
+// sequence of intersection indices including both endpoints.
+func (g *Graph) ShortestPath(a, b int) ([]int, error) {
+	if a == b {
+		return []int{a}, nil
+	}
+	const inf = 1e300
+	dist := make([]float64, len(g.points))
+	prev := make([]int, len(g.points))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[a] = 0
+	pq := &pathHeap{{node: a}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(pathItem)
+		if cur.node == b {
+			break
+		}
+		if cur.cost > dist[cur.node] {
+			continue
+		}
+		for _, r := range g.adj[cur.node] {
+			c := cur.cost + r.Length/r.SpeedLimit
+			if c < dist[r.To] {
+				dist[r.To] = c
+				prev[r.To] = cur.node
+				heap.Push(pq, pathItem{node: r.To, cost: c})
+			}
+		}
+	}
+	if prev[b] == -1 {
+		return nil, fmt.Errorf("%w: %d from %d", ErrUnreachable, b, a)
+	}
+	var path []int
+	for at := b; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// road returns the directed road a->b (the fastest when parallel roads
+// exist).
+func (g *Graph) road(a, b int) (Road, bool) {
+	var best Road
+	found := false
+	for _, r := range g.adj[a] {
+		if r.To == b && (!found || r.Length/r.SpeedLimit < best.Length/best.SpeedLimit) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// Validate checks that every intersection can reach every other
+// (required for destination choice to always succeed).
+func (g *Graph) Validate() error {
+	n := len(g.points)
+	if n == 0 {
+		return errors.New("mobility: empty graph")
+	}
+	// Strong connectivity via forward and reverse BFS from node 0.
+	if !g.bfsAll(0, false) {
+		return errors.New("mobility: graph not connected (forward)")
+	}
+	if !g.bfsAll(0, true) {
+		return errors.New("mobility: graph not connected (reverse)")
+	}
+	return nil
+}
+
+func (g *Graph) bfsAll(start int, reverse bool) bool {
+	seen := make([]bool, len(g.points))
+	queue := []int{start}
+	seen[start] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		visit := func(next int) {
+			if !seen[next] {
+				seen[next] = true
+				count++
+				queue = append(queue, next)
+			}
+		}
+		if !reverse {
+			for _, r := range g.adj[cur] {
+				visit(r.To)
+			}
+		} else {
+			for a := range g.adj {
+				for _, r := range g.adj[a] {
+					if r.To == cur {
+						visit(a)
+					}
+				}
+			}
+		}
+	}
+	return count == len(g.points)
+}
+
+type pathItem struct {
+	node int
+	cost float64
+}
+
+type pathHeap []pathItem
+
+func (h pathHeap) Len() int           { return len(h) }
+func (h pathHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h pathHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x any)        { *h = append(*h, x.(pathItem)) }
+func (h *pathHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

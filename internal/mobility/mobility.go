@@ -1,0 +1,93 @@
+// Package mobility implements the two mobility models used by the paper's
+// evaluation: random waypoint (Johnson & Maltz) and city section (Davies),
+// plus a trivial static model.
+//
+// Models are trajectory-based: each node lazily extends a piecewise-linear
+// trajectory (legs of constant velocity, including zero-velocity pauses)
+// and answers position/speed queries for any instant analytically. Nothing
+// ticks; the simulator asks for positions only when transmissions happen.
+package mobility
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Model yields a node's position and instantaneous speed over simulation
+// time. Implementations are deterministic functions of their seed but are
+// not safe for concurrent use.
+type Model interface {
+	// Position returns the node position at instant at. Queries may go
+	// backwards in time; models memoize their trajectory.
+	Position(at sim.Time) geo.Point
+	// Speed returns the node's speed in m/s at instant at (0 while
+	// paused).
+	Speed(at sim.Time) float64
+}
+
+// leg is a constant-velocity trajectory segment: the node moves from
+// `from` to `to` during [start, moveEnd] and then stays at `to` until
+// `end` (pause). A static leg has from == to.
+type leg struct {
+	start, moveEnd, end sim.Time
+	from, to            geo.Point
+	speed               float64
+}
+
+func (l leg) position(at sim.Time) geo.Point {
+	if at >= l.moveEnd {
+		return l.to
+	}
+	if at <= l.start || l.moveEnd == l.start {
+		return l.from
+	}
+	f := float64(at-l.start) / float64(l.moveEnd-l.start)
+	return l.from.Lerp(l.to, f)
+}
+
+func (l leg) speedAt(at sim.Time) float64 {
+	if at >= l.start && at < l.moveEnd {
+		return l.speed
+	}
+	return 0
+}
+
+// trajectory is a growable sequence of contiguous legs with binary-search
+// lookup. extend is called to append legs until the trajectory covers a
+// requested instant.
+type trajectory struct {
+	legs []leg
+}
+
+func (t *trajectory) covered() sim.Time {
+	if len(t.legs) == 0 {
+		return 0
+	}
+	return t.legs[len(t.legs)-1].end
+}
+
+func (t *trajectory) append(l leg) { t.legs = append(t.legs, l) }
+
+// find returns the leg active at instant at; the trajectory must already
+// cover at.
+func (t *trajectory) find(at sim.Time) leg {
+	i := sort.Search(len(t.legs), func(i int) bool { return t.legs[i].end > at })
+	if i == len(t.legs) {
+		i = len(t.legs) - 1
+	}
+	return t.legs[i]
+}
+
+// Static is a Model that never moves. It implements stationary processes
+// (the paper's 0 m/s runs).
+type Static struct {
+	P geo.Point
+}
+
+// Position implements Model.
+func (s Static) Position(sim.Time) geo.Point { return s.P }
+
+// Speed implements Model.
+func (s Static) Speed(sim.Time) float64 { return 0 }

@@ -1,0 +1,292 @@
+// Package netsim assembles full simulation scenarios: N mobile nodes
+// running a dissemination protocol (the frugal protocol or a flooding
+// baseline) over the CSMA broadcast medium, with subscription assignment,
+// scheduled publications, optional crashes, warm-up handling and
+// measurement-window accounting.
+//
+// A Result is a pure function of (Scenario, Seed); experiments in
+// internal/exp average Results across seeds.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/topic"
+	"repro/internal/trace"
+)
+
+// ProtocolKind selects the dissemination protocol under test.
+type ProtocolKind int
+
+const (
+	// Frugal is the paper's protocol (internal/core).
+	Frugal ProtocolKind = iota
+	// FloodSimple is flooding approach (1).
+	FloodSimple
+	// FloodInterest is flooding approach (2), interests-aware.
+	FloodInterest
+	// FloodNeighbors is flooding approach (3), neighbors'-interests.
+	FloodNeighbors
+	// StormProbabilistic is Ni et al.'s probabilistic broadcast scheme
+	// (single-shot relay with probability P).
+	StormProbabilistic
+	// StormCounter is Ni et al.'s counter-based broadcast scheme
+	// (single-shot relay unless C copies were overheard).
+	StormCounter
+)
+
+// String implements fmt.Stringer.
+func (k ProtocolKind) String() string {
+	switch k {
+	case Frugal:
+		return "frugal"
+	case FloodSimple:
+		return "simple-flooding"
+	case FloodInterest:
+		return "interests-aware-flooding"
+	case FloodNeighbors:
+		return "neighbors-interests-flooding"
+	case StormProbabilistic:
+		return "probabilistic-broadcast"
+	case StormCounter:
+		return "counter-based-broadcast"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(k))
+	}
+}
+
+// MobilityKind selects the mobility model.
+type MobilityKind int
+
+const (
+	// StaticNodes pins nodes at uniform random positions.
+	StaticNodes MobilityKind = iota
+	// RandomWaypoint is the Johnson-Maltz model on a rectangle.
+	RandomWaypoint
+	// CitySection drives nodes on a street graph.
+	CitySection
+)
+
+// MobilitySpec declares per-node mobility.
+type MobilitySpec struct {
+	Kind MobilityKind
+
+	// Area is the mobility rectangle for StaticNodes/RandomWaypoint.
+	Area geo.Rect
+	// MinSpeed/MaxSpeed bound random-waypoint speeds, m/s.
+	MinSpeed, MaxSpeed float64
+	// Pause is the random-waypoint dwell time (paper: 1 s).
+	Pause time.Duration
+
+	// Graph is the street network for CitySection (nil selects the
+	// synthetic campus).
+	Graph *mobility.Graph
+	// StopProb, StopMin, StopMax, DestPause configure city pauses.
+	StopProb         float64
+	StopMin, StopMax time.Duration
+	DestPause        time.Duration
+}
+
+// CoreTuning carries the frugal protocol's tuning knobs (zero = paper
+// defaults).
+type CoreTuning struct {
+	X            float64
+	HB2BO        float64
+	HB2NGC       float64
+	HBDelay      time.Duration
+	HBLowerBound time.Duration
+	HBUpperBound time.Duration
+	MaxEvents    int
+	MaxNeighbors int
+	// UseSpeed feeds the node's true speed into heartbeats (the paper's
+	// tachometer optimization).
+	UseSpeed bool
+
+	// Ablation knobs, passed through to core.Config (zero = paper
+	// design).
+	DisableSuppression bool
+	DisableAdaptiveHB  bool
+	FixedBackoff       bool
+	BlindPush          bool
+	GCPolicy           core.GCPolicy
+}
+
+// StormTuning carries the broadcast-storm schemes' knobs (zero = the
+// flood package defaults: P 0.6, threshold 3, assessment 500 ms).
+type StormTuning struct {
+	P                float64
+	CounterThreshold int
+	AssessmentDelay  time.Duration
+}
+
+// Publication schedules one event.
+type Publication struct {
+	// Offset from the end of warm-up.
+	Offset time.Duration
+	// Publisher is a node index; -1 picks a random subscriber.
+	Publisher int
+	// Topic defaults to the scenario's EventTopic when zero.
+	Topic topic.Topic
+	// Validity is the event's validity period. Required.
+	Validity time.Duration
+}
+
+// Crash schedules a node failure (and optional recovery with fresh
+// state).
+type Crash struct {
+	// Node is the node index.
+	Node int
+	// At is the failure instant (absolute, from simulation start).
+	At time.Duration
+	// RecoverAt restarts the node with empty tables; zero means never.
+	RecoverAt time.Duration
+}
+
+// Resubscription schedules a subscription change on a live node,
+// exercising the paper's "the list of subscriptions can change at any
+// point in time".
+type Resubscription struct {
+	// Node is the node index.
+	Node int
+	// At is the change instant (absolute, from simulation start).
+	At time.Duration
+	// Topic is the topic to add or remove.
+	Topic topic.Topic
+	// Unsubscribe removes the topic instead of adding it.
+	Unsubscribe bool
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Name  string
+	Nodes int
+	Seed  int64
+
+	Protocol ProtocolKind
+	Mobility MobilitySpec
+	// MAC configures the medium; mac.DefaultConfig(range) is typical.
+	MAC mac.Config
+	// Sizes is the bandwidth-accounting model (paper defaults when
+	// zero).
+	Sizes event.SizeModel
+	// Core tunes the frugal protocol.
+	Core CoreTuning
+	// FloodPeriod is the baselines' rebroadcast period (default 1 s).
+	FloodPeriod time.Duration
+	// Storm tunes the broadcast-storm baselines (zero = their
+	// defaults).
+	Storm StormTuning
+
+	// EventTopic is the topic events are published on (default
+	// ".app.news"). SubscriberFraction in [0,1] of nodes subscribe to
+	// it; the rest subscribe to DecoyTopic (default ".app.decoy") so
+	// they still run the protocol, as in the paper's interest sweeps.
+	EventTopic         topic.Topic
+	DecoyTopic         topic.Topic
+	SubscriberFraction float64
+
+	Publications    []Publication
+	Crashes         []Crash
+	Resubscriptions []Resubscription
+
+	// CustomModels, when non-nil, overrides the mobility model of node
+	// i with CustomModels[i] (nil entries fall back to Mobility). This
+	// enables hand-crafted topologies such as a courier node shuttling
+	// between partitioned clusters.
+	CustomModels []mobility.Model
+
+	// Trace, when non-nil, records the message-level timeline of the
+	// run (sends, receptions, deliveries, publications).
+	Trace *trace.Trace
+
+	// Warmup runs the system before measurement starts (the paper
+	// discards the first 600 s of random-waypoint runs).
+	Warmup time.Duration
+	// Measure is the measurement window; publications are scheduled
+	// relative to its start and counters cover exactly this window.
+	Measure time.Duration
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.EventTopic.IsZero() {
+		s.EventTopic = topic.MustParse(".app.news")
+	}
+	if s.DecoyTopic.IsZero() {
+		s.DecoyTopic = topic.MustParse(".app.decoy")
+	}
+	if s.Sizes == (event.SizeModel{}) {
+		s.Sizes = event.DefaultSizeModel()
+	}
+	if s.FloodPeriod == 0 {
+		s.FloodPeriod = time.Second
+	}
+	return s
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	if s.Nodes <= 0 {
+		return errors.New("netsim: no nodes")
+	}
+	if s.SubscriberFraction < 0 || s.SubscriberFraction > 1 {
+		return fmt.Errorf("netsim: SubscriberFraction %v out of [0,1]", s.SubscriberFraction)
+	}
+	if s.Measure <= 0 {
+		return errors.New("netsim: Measure must be positive")
+	}
+	if s.Warmup < 0 {
+		return errors.New("netsim: negative Warmup")
+	}
+	if err := s.MAC.Validate(); err != nil {
+		return err
+	}
+	switch s.Mobility.Kind {
+	case StaticNodes, RandomWaypoint:
+		if s.Mobility.Area.Width() <= 0 || s.Mobility.Area.Height() <= 0 {
+			return errors.New("netsim: empty mobility area")
+		}
+	case CitySection:
+		// Graph nil is fine (campus default).
+	default:
+		return fmt.Errorf("netsim: unknown mobility kind %d", s.Mobility.Kind)
+	}
+	for i, p := range s.Publications {
+		if p.Validity <= 0 {
+			return fmt.Errorf("netsim: publication %d without validity", i)
+		}
+		if p.Publisher >= s.Nodes {
+			return fmt.Errorf("netsim: publication %d publisher %d out of range", i, p.Publisher)
+		}
+		if p.Offset < 0 {
+			return fmt.Errorf("netsim: publication %d negative offset", i)
+		}
+	}
+	for i, c := range s.Crashes {
+		if c.Node < 0 || c.Node >= s.Nodes {
+			return fmt.Errorf("netsim: crash %d node out of range", i)
+		}
+		if c.RecoverAt != 0 && c.RecoverAt < c.At {
+			return fmt.Errorf("netsim: crash %d recovers before failing", i)
+		}
+	}
+	for i, r := range s.Resubscriptions {
+		if r.Node < 0 || r.Node >= s.Nodes {
+			return fmt.Errorf("netsim: resubscription %d node out of range", i)
+		}
+		if r.Topic.IsZero() {
+			return fmt.Errorf("netsim: resubscription %d zero topic", i)
+		}
+	}
+	if s.CustomModels != nil && len(s.CustomModels) != s.Nodes {
+		return fmt.Errorf("netsim: CustomModels has %d entries for %d nodes",
+			len(s.CustomModels), s.Nodes)
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mac"
+)
+
+// denseStatic returns a scenario where all nodes sit within one radio
+// range: a single publication must reach everyone quickly.
+func denseStatic(seed int64) Scenario {
+	return Scenario{
+		Name:  "dense-static",
+		Nodes: 10,
+		Seed:  seed,
+		Mobility: MobilitySpec{
+			Kind: StaticNodes,
+			Area: geo.NewRect(200, 200),
+		},
+		MAC:                mac.DefaultConfig(340),
+		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		SubscriberFraction: 1.0,
+		Publications: []Publication{
+			{Offset: 2 * time.Second, Publisher: -1, Validity: 60 * time.Second},
+		},
+		Warmup:  0,
+		Measure: 90 * time.Second,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Scenario)
+		ok   bool
+	}{
+		{"valid", func(*Scenario) {}, true},
+		{"no nodes", func(s *Scenario) { s.Nodes = 0 }, false},
+		{"bad fraction", func(s *Scenario) { s.SubscriberFraction = 1.5 }, false},
+		{"no measure", func(s *Scenario) { s.Measure = 0 }, false},
+		{"negative warmup", func(s *Scenario) { s.Warmup = -time.Second }, false},
+		{"bad mac", func(s *Scenario) { s.MAC.Range = 0 }, false},
+		{"empty area", func(s *Scenario) { s.Mobility.Area = geo.Rect{} }, false},
+		{"pub no validity", func(s *Scenario) {
+			s.Publications = append(s.Publications, Publication{})
+		}, false},
+		{"pub publisher range", func(s *Scenario) {
+			s.Publications = []Publication{{Publisher: 99, Validity: time.Second}}
+		}, false},
+		{"crash node range", func(s *Scenario) {
+			s.Crashes = []Crash{{Node: 99, At: time.Second}}
+		}, false},
+		{"crash before recover", func(s *Scenario) {
+			s.Crashes = []Crash{{Node: 0, At: 10 * time.Second, RecoverAt: time.Second}}
+		}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sc := denseStatic(1).withDefaults()
+			tt.mut(&sc)
+			if err := sc.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestDenseStaticFullReliability(t *testing.T) {
+	res, err := Run(denseStatic(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	o := res.Outcomes[0]
+	if o.Eligible != 9 {
+		t.Fatalf("eligible = %d, want 9", o.Eligible)
+	}
+	if got := res.Reliability(); got != 1.0 {
+		t.Fatalf("reliability = %v, want 1.0 (dense static network)", got)
+	}
+}
+
+func TestDeliverOnceInvariant(t *testing.T) {
+	res, err := Run(denseStatic(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event, everyone subscribed: each non-publisher delivers at most
+	// once, and the publisher self-delivers exactly once.
+	for _, n := range res.Nodes {
+		if n.Proto.Delivered > 1 {
+			t.Fatalf("node %v delivered %d times", n.ID, n.Proto.Delivered)
+		}
+	}
+	if res.DeliveredTotal() != 10 {
+		t.Fatalf("total deliveries = %d, want 10", res.DeliveredTotal())
+	}
+}
+
+func TestNoParasitesWhenAllSubscribed(t *testing.T) {
+	res, err := Run(denseStatic(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		if n.Proto.Parasites != 0 {
+			t.Fatalf("node %v counted parasites with 100%% interest", n.ID)
+		}
+	}
+}
+
+func TestParasitesAppearWithPartialInterest(t *testing.T) {
+	sc := denseStatic(4)
+	sc.SubscriberFraction = 0.5
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parasites uint64
+	for _, n := range res.Nodes {
+		if !n.Subscribed {
+			parasites += n.Proto.Parasites
+			if n.Proto.Delivered != 0 {
+				t.Fatalf("non-subscriber %v delivered events", n.ID)
+			}
+		}
+	}
+	if parasites == 0 {
+		t.Fatal("expected overheard parasite events at non-subscribers")
+	}
+}
+
+func TestFrugalBeatsFloodingOnTraffic(t *testing.T) {
+	base := denseStatic(5)
+	base.Measure = 60 * time.Second
+	frugal, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := base
+	fl.Protocol = FloodSimple
+	flooded, err := Run(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flooded.Reliability() < 1.0 {
+		t.Fatalf("flooding reliability = %v", flooded.Reliability())
+	}
+	if f, s := frugal.EventsSentPerProcess(), flooded.EventsSentPerProcess(); f*5 > s {
+		t.Fatalf("frugal sends %.1f events/process vs flooding %.1f; want >5x gap", f, s)
+	}
+	if f, s := frugal.DuplicatesPerProcess(), flooded.DuplicatesPerProcess(); f*5 > s {
+		t.Fatalf("frugal duplicates %.1f vs flooding %.1f; want >5x gap", f, s)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, err := Run(denseStatic(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(denseStatic(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reliability() != b.Reliability() {
+		t.Fatal("reliability differs across identical runs")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Proto != b.Nodes[i].Proto || a.Nodes[i].MAC != b.Nodes[i].MAC {
+			t.Fatalf("node %d counters differ across identical runs", i)
+		}
+	}
+	c, err := Run(denseStatic(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nodes {
+		if a.Nodes[i].MAC != c.Nodes[i].MAC {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical MAC counters")
+	}
+}
+
+func TestSparseMobileNetworkUsesMobility(t *testing.T) {
+	// Two clusters far apart: only node mobility can carry the event.
+	// With random waypoint at decent speed and a long validity, at least
+	// some remote nodes must receive it; with zero validity margin (tiny
+	// validity), none can.
+	long := Scenario{
+		Name:  "sparse-mobile",
+		Nodes: 20,
+		Seed:  11,
+		Mobility: MobilitySpec{
+			Kind:     RandomWaypoint,
+			Area:     geo.NewRect(3000, 3000),
+			MinSpeed: 15,
+			MaxSpeed: 15,
+			Pause:    time.Second,
+		},
+		MAC:                mac.DefaultConfig(340),
+		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		SubscriberFraction: 1.0,
+		Publications: []Publication{
+			{Offset: 0, Publisher: 0, Validity: 150 * time.Second},
+		},
+		Warmup:  5 * time.Second,
+		Measure: 160 * time.Second,
+	}
+	resLong, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := long
+	short.Seed = 11
+	short.Publications = []Publication{{Offset: 0, Publisher: 0, Validity: 2 * time.Second}}
+	resShort, err := Run(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLong.Reliability() <= resShort.Reliability() {
+		t.Fatalf("long validity %.2f should beat short validity %.2f",
+			resLong.Reliability(), resShort.Reliability())
+	}
+	if resLong.Reliability() < 0.3 {
+		t.Fatalf("mobility-assisted reliability implausibly low: %v", resLong.Reliability())
+	}
+}
+
+func TestCrashAndRecovery(t *testing.T) {
+	sc := denseStatic(12)
+	sc.Publications = []Publication{
+		{Offset: 2 * time.Second, Publisher: 0, Validity: 80 * time.Second},
+	}
+	// Node 5 is down when the event is published and recovers later; it
+	// must still receive the event after recovery (state is fresh, the
+	// neighborhood re-detects it).
+	sc.Crashes = []Crash{{Node: 5, At: time.Second, RecoverAt: 30 * time.Second}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability() != 1.0 {
+		t.Fatalf("reliability with recovery = %v, want 1.0", res.Reliability())
+	}
+}
+
+func TestCrashWithoutRecoveryLowersReliability(t *testing.T) {
+	sc := denseStatic(13)
+	sc.Publications = []Publication{
+		{Offset: 2 * time.Second, Publisher: 0, Validity: 30 * time.Second},
+	}
+	sc.Crashes = []Crash{{Node: 3, At: time.Second}, {Node: 7, At: time.Second}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 eligible, 2 permanently down (publisher 0 is up).
+	want := 7.0 / 9.0
+	got := res.Reliability()
+	if got > want+1e-9 {
+		t.Fatalf("reliability = %v, want <= %v with two dead nodes", got, want)
+	}
+	if got < 0.5 {
+		t.Fatalf("reliability = %v, implausibly low", got)
+	}
+}
+
+func TestCityScenarioRuns(t *testing.T) {
+	sc := Scenario{
+		Name:  "city-smoke",
+		Nodes: 15,
+		Seed:  21,
+		Mobility: MobilitySpec{
+			Kind:      CitySection,
+			StopProb:  0.3,
+			StopMin:   2 * time.Second,
+			StopMax:   10 * time.Second,
+			DestPause: 5 * time.Second,
+		},
+		MAC:                mac.DefaultConfig(44),
+		Core:               CoreTuning{HBDelay: 4 * time.Second, HBUpperBound: time.Second, UseSpeed: true},
+		SubscriberFraction: 1.0,
+		Publications: []Publication{
+			{Offset: 0, Publisher: 0, Validity: 150 * time.Second},
+		},
+		Warmup:  10 * time.Second,
+		Measure: 160 * time.Second,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability() <= 0 {
+		t.Fatal("city scenario delivered nothing; radio range or mobility broken")
+	}
+	if res.Reliability() > 1 {
+		t.Fatal("reliability above 1")
+	}
+}
+
+func TestMeasurementWindowExcludesWarmup(t *testing.T) {
+	sc := denseStatic(14)
+	sc.Warmup = 30 * time.Second
+	sc.Measure = 10 * time.Second
+	sc.Publications = nil // nothing after warmup
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		// Steady state: ~10 heartbeats in a 10s window, not 40.
+		if n.Proto.HeartbeatsSent > 15 {
+			t.Fatalf("node %v window heartbeats = %d; warmup not excluded",
+				n.ID, n.Proto.HeartbeatsSent)
+		}
+	}
+}
+
+func TestFloodVariantsRun(t *testing.T) {
+	for _, k := range []ProtocolKind{FloodSimple, FloodInterest, FloodNeighbors} {
+		t.Run(k.String(), func(t *testing.T) {
+			sc := denseStatic(15)
+			sc.Protocol = k
+			sc.Measure = 30 * time.Second
+			sc.Publications = []Publication{
+				{Offset: time.Second, Publisher: -1, Validity: 25 * time.Second},
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Reliability() != 1.0 {
+				t.Fatalf("%v reliability = %v in dense static net", k, res.Reliability())
+			}
+		})
+	}
+}

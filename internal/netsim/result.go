@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/topic"
+)
+
+// PublishedEvent records one publication during the run.
+type PublishedEvent struct {
+	ID        event.ID
+	Publisher event.NodeID
+	Topic     topic.Topic
+	At        sim.Time
+	Validity  time.Duration
+}
+
+// EventOutcome is the delivery outcome of one published event.
+type EventOutcome struct {
+	PublishedEvent
+	// Eligible is the number of subscribers excluding the publisher.
+	Eligible int
+	// DeliveredInTime counts eligible nodes that delivered the event
+	// before its validity expired.
+	DeliveredInTime int
+}
+
+// Reliability is the paper's "probability of event reception":
+// DeliveredInTime / Eligible.
+func (o EventOutcome) Reliability() float64 {
+	if o.Eligible == 0 {
+		return 0
+	}
+	return float64(o.DeliveredInTime) / float64(o.Eligible)
+}
+
+// NodeResult carries one node's counters over the measurement window.
+type NodeResult struct {
+	ID         event.NodeID
+	Subscribed bool
+	Proto      core.Stats
+	MAC        mac.Counters
+}
+
+// DeliveryRecord is one first-time application delivery.
+type DeliveryRecord struct {
+	Event event.ID
+	Node  event.NodeID
+	At    sim.Time
+}
+
+// Result is everything measured in one run.
+type Result struct {
+	Scenario   Scenario
+	Nodes      []NodeResult
+	Published  []PublishedEvent
+	Deliveries []DeliveryRecord
+	Outcomes   []EventOutcome
+}
+
+// DeliveryLatencies returns the publish-to-delivery latencies in seconds
+// of every recorded delivery (excluding the publisher's local
+// self-delivery), across all events. Useful for percentile analysis via
+// metrics.Quantile.
+func (r *Result) DeliveryLatencies() []float64 {
+	pubAt := make(map[event.ID]PublishedEvent, len(r.Published))
+	for _, pe := range r.Published {
+		pubAt[pe.ID] = pe
+	}
+	var out []float64
+	for _, d := range r.Deliveries {
+		pe, ok := pubAt[d.Event]
+		if !ok || d.Node == pe.Publisher {
+			continue
+		}
+		out = append(out, d.At.Sub(pe.At).Seconds())
+	}
+	return out
+}
+
+// CoverageAt returns the fraction of eligible subscribers that had
+// delivered event id by time t.
+func (r *Result) CoverageAt(id event.ID, t sim.Time) float64 {
+	var o *EventOutcome
+	for i := range r.Outcomes {
+		if r.Outcomes[i].ID == id {
+			o = &r.Outcomes[i]
+			break
+		}
+	}
+	if o == nil || o.Eligible == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range r.Deliveries {
+		if d.Event == id && d.Node != o.Publisher && d.At <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(o.Eligible)
+}
+
+func (r *Result) computeOutcomes(deliveries map[event.ID]map[event.NodeID]sim.Time, nodes []*node) {
+	for _, pe := range r.Published {
+		out := EventOutcome{PublishedEvent: pe}
+		deadline := pe.At.Add(pe.Validity)
+		delivered := deliveries[pe.ID]
+		for _, n := range nodes {
+			if !n.subscribed || n.id == pe.Publisher {
+				continue
+			}
+			out.Eligible++
+			if at, ok := delivered[n.id]; ok && at <= deadline {
+				out.DeliveredInTime++
+			}
+		}
+		r.Outcomes = append(r.Outcomes, out)
+	}
+}
+
+// Reliability averages per-event reliability across all published events.
+func (r *Result) Reliability() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, o := range r.Outcomes {
+		sum += o.Reliability()
+	}
+	return sum / float64(len(r.Outcomes))
+}
+
+// meanPerNode averages f over every node.
+func (r *Result) meanPerNode(f func(NodeResult) float64) float64 {
+	if len(r.Nodes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, n := range r.Nodes {
+		sum += f(n)
+	}
+	return sum / float64(len(r.Nodes))
+}
+
+// AppBytesPerProcess is the paper's "bandwidth used per process":
+// application bytes broadcast per node over the measurement window
+// (heartbeats + id lists + events under the size model).
+func (r *Result) AppBytesPerProcess() float64 {
+	return r.meanPerNode(func(n NodeResult) float64 { return float64(n.MAC.AppBytesSent) })
+}
+
+// EventsSentPerProcess counts event copies broadcast per node (paper
+// Figure 18).
+func (r *Result) EventsSentPerProcess() float64 {
+	return r.meanPerNode(func(n NodeResult) float64 { return float64(n.Proto.EventsSent) })
+}
+
+// DuplicatesPerProcess counts received already-known events per node
+// (paper Figure 19).
+func (r *Result) DuplicatesPerProcess() float64 {
+	return r.meanPerNode(func(n NodeResult) float64 { return float64(n.Proto.Duplicates) })
+}
+
+// ParasitesPerProcess counts received uninteresting events per node
+// (paper Figure 20).
+func (r *Result) ParasitesPerProcess() float64 {
+	return r.meanPerNode(func(n NodeResult) float64 { return float64(n.Proto.Parasites) })
+}
+
+// DeliveredTotal sums application deliveries over all nodes.
+func (r *Result) DeliveredTotal() uint64 {
+	var sum uint64
+	for _, n := range r.Nodes {
+		sum += n.Proto.Delivered
+	}
+	return sum
+}
+
+// FramesLostTotal sums MAC-level collision losses over all nodes.
+func (r *Result) FramesLostTotal() uint64 {
+	var sum uint64
+	for _, n := range r.Nodes {
+		sum += n.MAC.FramesLost
+	}
+	return sum
+}

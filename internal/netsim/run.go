@@ -1,0 +1,515 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/flood"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/sim"
+	"repro/internal/topic"
+	"repro/internal/trace"
+)
+
+// disseminator is the protocol surface the runner needs; both
+// core.Protocol and flood.Protocol satisfy it.
+type disseminator interface {
+	Subscribe(topic.Topic) error
+	Unsubscribe(topic.Topic)
+	Publish(topic.Topic, []byte, time.Duration) (event.ID, error)
+	HandleMessage(event.Message) error
+	Stats() core.Stats
+	Stop()
+}
+
+var (
+	_ disseminator = (*core.Protocol)(nil)
+	_ disseminator = (*flood.Protocol)(nil)
+	_ disseminator = (*flood.Storm)(nil)
+)
+
+// node is one simulated process: mobility + MAC port + protocol.
+type node struct {
+	id    event.NodeID
+	model mobility.Model
+	port  *mac.Port
+	proto disseminator
+	// subscribed reports subscription to the scenario's EventTopic.
+	subscribed bool
+	// down is true while crashed; received frames are discarded.
+	down bool
+	// prevStats accumulates counters of crashed incarnations.
+	prevStats core.Stats
+}
+
+// totalStats merges the live protocol's counters with those of crashed
+// incarnations.
+func (n *node) totalStats() core.Stats {
+	s := n.proto.Stats()
+	return addStats(n.prevStats, s)
+}
+
+func addStats(a, b core.Stats) core.Stats {
+	return core.Stats{
+		HeartbeatsSent: a.HeartbeatsSent + b.HeartbeatsSent,
+		IDListsSent:    a.IDListsSent + b.IDListsSent,
+		EventMsgsSent:  a.EventMsgsSent + b.EventMsgsSent,
+		EventsSent:     a.EventsSent + b.EventsSent,
+		EventsReceived: a.EventsReceived + b.EventsReceived,
+		Delivered:      a.Delivered + b.Delivered,
+		Duplicates:     a.Duplicates + b.Duplicates,
+		Parasites:      a.Parasites + b.Parasites,
+		ExpiredDrops:   a.ExpiredDrops + b.ExpiredDrops,
+		Published:      a.Published + b.Published,
+		TableEvictions: a.TableEvictions + b.TableEvictions,
+		NeighborsGCed:  a.NeighborsGCed + b.NeighborsGCed,
+	}
+}
+
+// locator adapts the mobility models to the MAC medium.
+type locator struct{ nodes []*node }
+
+func (l locator) Position(id event.NodeID, at sim.Time) geo.Point {
+	return l.nodes[id].model.Position(at)
+}
+
+// portTransport charges the scenario size model for every broadcast and
+// feeds the optional trace.
+type portTransport struct {
+	port  *mac.Port
+	sizes event.SizeModel
+	r     *runner
+}
+
+func (t portTransport) Broadcast(m event.Message) {
+	size := m.WireSize(t.sizes)
+	t.r.traceAdd(trace.Record{
+		At:    t.r.eng.Now(),
+		Node:  t.port.ID(),
+		Op:    trace.OpSend,
+		Msg:   m.Kind(),
+		Bytes: size,
+	})
+	t.port.Broadcast(m, size)
+}
+
+// simSched adapts the engine to the protocols' Scheduler interface.
+type simSched struct{ eng *sim.Engine }
+
+func (s simSched) Now() time.Duration { return s.eng.Now().Duration() }
+func (s simSched) After(d time.Duration, fn func()) core.Timer {
+	return s.eng.After(d, fn)
+}
+
+// runner holds the mutable state of one simulation.
+type runner struct {
+	sc    Scenario
+	eng   *sim.Engine
+	nodes []*node
+
+	deliveries map[event.ID]map[event.NodeID]sim.Time
+	records    []DeliveryRecord
+	published  []PublishedEvent
+
+	snapProto []core.Stats
+	snapMAC   []mac.Counters
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		sc:         sc,
+		eng:        sim.New(sc.Seed),
+		deliveries: make(map[event.ID]map[event.NodeID]sim.Time),
+	}
+	if err := r.build(); err != nil {
+		return nil, err
+	}
+	r.schedule()
+	end := sim.At(sc.Warmup + sc.Measure)
+	r.eng.RunUntil(end)
+	return r.collect(), nil
+}
+
+// build creates mobility models, the medium and the protocol instances.
+func (r *runner) build() error {
+	sc := r.sc
+	r.nodes = make([]*node, sc.Nodes)
+	for i := range r.nodes {
+		r.nodes[i] = &node{id: event.NodeID(i)}
+	}
+	// Mobility first: models draw from the engine RNG in node order.
+	for i, n := range r.nodes {
+		if sc.CustomModels != nil && sc.CustomModels[i] != nil {
+			n.model = sc.CustomModels[i]
+			continue
+		}
+		model, err := r.buildMobility()
+		if err != nil {
+			return err
+		}
+		n.model = model
+	}
+	medium := mac.New(r.eng, sc.MAC, locator{nodes: r.nodes})
+	for _, n := range r.nodes {
+		n := n
+		n.port = medium.Attach(n.id, func(f mac.Frame) {
+			if n.down {
+				return
+			}
+			r.traceAdd(trace.Record{
+				At:   r.eng.Now(),
+				Node: n.id,
+				Op:   trace.OpReceive,
+				Msg:  f.Msg.Kind(),
+			})
+			_ = n.proto.HandleMessage(f.Msg)
+		})
+	}
+	// Subscription assignment: a seeded shuffle picks the subscribers.
+	shuffleRng := r.eng.NewRand()
+	order := shuffleRng.Perm(sc.Nodes)
+	numSubs := int(float64(sc.Nodes)*sc.SubscriberFraction + 0.5)
+	for i, idx := range order {
+		r.nodes[idx].subscribed = i < numSubs
+	}
+	for _, n := range r.nodes {
+		proto, err := r.buildProtocol(n)
+		if err != nil {
+			return err
+		}
+		n.proto = proto
+		tp := sc.DecoyTopic
+		if n.subscribed {
+			tp = sc.EventTopic
+		}
+		if err := n.proto.Subscribe(tp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) buildMobility() (mobility.Model, error) {
+	m := r.sc.Mobility
+	rng := r.eng.NewRand()
+	switch m.Kind {
+	case StaticNodes:
+		p := geo.Pt(
+			m.Area.Min.X+rng.Float64()*m.Area.Width(),
+			m.Area.Min.Y+rng.Float64()*m.Area.Height(),
+		)
+		return mobility.Static{P: p}, nil
+	case RandomWaypoint:
+		cfg := mobility.WaypointConfig{
+			Area:     m.Area,
+			MinSpeed: m.MinSpeed,
+			MaxSpeed: m.MaxSpeed,
+			Pause:    m.Pause,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return mobility.NewWaypoint(cfg, rng), nil
+	case CitySection:
+		g := m.Graph
+		if g == nil {
+			g = mobility.NewCampusGraph()
+		}
+		cfg := mobility.CityConfig{
+			Graph:     g,
+			StopProb:  m.StopProb,
+			StopMin:   m.StopMin,
+			StopMax:   m.StopMax,
+			DestPause: m.DestPause,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return mobility.NewCity(cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown mobility kind %d", m.Kind)
+	}
+}
+
+func (r *runner) buildProtocol(n *node) (disseminator, error) {
+	sc := r.sc
+	tr := portTransport{port: n.port, sizes: sc.Sizes, r: r}
+	sched := simSched{eng: r.eng}
+	onDeliver := r.deliverHook(n.id)
+	protoRng := rand.New(rand.NewSource(sc.Seed*7919 + int64(n.id)*104729 + 13))
+	if sc.Protocol == Frugal {
+		cfg := core.Config{
+			ID:                 n.id,
+			X:                  sc.Core.X,
+			HB2BO:              sc.Core.HB2BO,
+			HB2NGC:             sc.Core.HB2NGC,
+			HBDelay:            sc.Core.HBDelay,
+			HBLowerBound:       sc.Core.HBLowerBound,
+			HBUpperBound:       sc.Core.HBUpperBound,
+			MaxEvents:          sc.Core.MaxEvents,
+			MaxNeighbors:       sc.Core.MaxNeighbors,
+			OnDeliver:          onDeliver,
+			Rand:               protoRng,
+			DisableSuppression: sc.Core.DisableSuppression,
+			DisableAdaptiveHB:  sc.Core.DisableAdaptiveHB,
+			FixedBackoff:       sc.Core.FixedBackoff,
+			BlindPush:          sc.Core.BlindPush,
+			GCPolicy:           sc.Core.GCPolicy,
+		}
+		if sc.Core.UseSpeed {
+			model := n.model
+			eng := r.eng
+			cfg.Speed = func() float64 { return model.Speed(eng.Now()) }
+		}
+		return core.New(cfg, sched, tr)
+	}
+	if sc.Protocol == StormProbabilistic || sc.Protocol == StormCounter {
+		scheme := flood.Probabilistic
+		if sc.Protocol == StormCounter {
+			scheme = flood.CounterBased
+		}
+		return flood.NewStorm(flood.StormConfig{
+			ID:               n.id,
+			Scheme:           scheme,
+			P:                sc.Storm.P,
+			CounterThreshold: sc.Storm.CounterThreshold,
+			AssessmentDelay:  sc.Storm.AssessmentDelay,
+			OnDeliver:        onDeliver,
+			Rand:             protoRng,
+		}, sched, tr)
+	}
+	var variant flood.Variant
+	switch sc.Protocol {
+	case FloodSimple:
+		variant = flood.Simple
+	case FloodInterest:
+		variant = flood.InterestAware
+	case FloodNeighbors:
+		variant = flood.NeighborsInterest
+	default:
+		return nil, fmt.Errorf("netsim: unknown protocol %v", sc.Protocol)
+	}
+	return flood.New(flood.Config{
+		ID:        n.id,
+		Variant:   variant,
+		Period:    sc.FloodPeriod,
+		OnDeliver: onDeliver,
+		Rand:      protoRng,
+	}, sched, tr)
+}
+
+// deliverHook records first-delivery times per (event, node).
+func (r *runner) deliverHook(id event.NodeID) func(event.Event) {
+	return func(ev event.Event) {
+		m := r.deliveries[ev.ID]
+		if m == nil {
+			m = make(map[event.NodeID]sim.Time)
+			r.deliveries[ev.ID] = m
+		}
+		if _, seen := m[id]; !seen {
+			m[id] = r.eng.Now()
+			r.records = append(r.records, DeliveryRecord{
+				Event: ev.ID,
+				Node:  id,
+				At:    r.eng.Now(),
+			})
+			r.traceAdd(trace.Record{
+				At:    r.eng.Now(),
+				Node:  id,
+				Op:    trace.OpDeliver,
+				Event: ev.ID,
+			})
+		}
+	}
+}
+
+// traceAdd records into the optional scenario trace.
+func (r *runner) traceAdd(rec trace.Record) {
+	if r.sc.Trace != nil {
+		r.sc.Trace.Add(rec)
+	}
+}
+
+// schedule arms the warm-up snapshot, publications and crashes.
+func (r *runner) schedule() {
+	sc := r.sc
+	warm := sim.At(sc.Warmup)
+	// Snapshot first: scheduled before any same-instant publication, so
+	// FIFO tie-breaking guarantees window counters include them.
+	r.eng.At(warm, r.snapshot)
+	pubRng := r.eng.NewRand()
+	for i := range sc.Publications {
+		p := sc.Publications[i]
+		r.eng.At(warm.Add(p.Offset), func() { r.publish(p, pubRng) })
+	}
+	for i := range sc.Crashes {
+		c := sc.Crashes[i]
+		r.eng.At(sim.At(c.At), func() { r.crash(c.Node) })
+		if c.RecoverAt != 0 {
+			r.eng.At(sim.At(c.RecoverAt), func() { r.recover(c.Node) })
+		}
+	}
+	for i := range sc.Resubscriptions {
+		rs := sc.Resubscriptions[i]
+		r.eng.At(sim.At(rs.At), func() {
+			n := r.nodes[rs.Node]
+			if n.down {
+				return
+			}
+			if rs.Unsubscribe {
+				n.proto.Unsubscribe(rs.Topic)
+			} else {
+				_ = n.proto.Subscribe(rs.Topic)
+			}
+		})
+	}
+}
+
+func (r *runner) snapshot() {
+	r.snapProto = make([]core.Stats, len(r.nodes))
+	r.snapMAC = make([]mac.Counters, len(r.nodes))
+	for i, n := range r.nodes {
+		r.snapProto[i] = n.totalStats()
+		r.snapMAC[i] = n.port.Counters()
+	}
+}
+
+func (r *runner) publish(p Publication, rng *rand.Rand) {
+	idx := p.Publisher
+	if idx < 0 {
+		subs := r.subscriberIndices()
+		if len(subs) == 0 {
+			return // nobody to publish; recorded as zero events
+		}
+		idx = subs[rng.Intn(len(subs))]
+	}
+	n := r.nodes[idx]
+	if n.down {
+		return
+	}
+	tp := p.Topic
+	if tp.IsZero() {
+		tp = r.sc.EventTopic
+	}
+	id, err := n.proto.Publish(tp, nil, p.Validity)
+	if err != nil {
+		return
+	}
+	r.published = append(r.published, PublishedEvent{
+		ID:        id,
+		Publisher: n.id,
+		Topic:     tp,
+		At:        r.eng.Now(),
+		Validity:  p.Validity,
+	})
+	r.traceAdd(trace.Record{
+		At:    r.eng.Now(),
+		Node:  n.id,
+		Op:    trace.OpPublish,
+		Event: id,
+	})
+}
+
+func (r *runner) subscriberIndices() []int {
+	var out []int
+	for i, n := range r.nodes {
+		if n.subscribed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (r *runner) crash(idx int) {
+	n := r.nodes[idx]
+	if n.down {
+		return
+	}
+	n.down = true
+	n.prevStats = n.totalStats()
+	n.proto.Stop()
+}
+
+func (r *runner) recover(idx int) {
+	n := r.nodes[idx]
+	if !n.down {
+		return
+	}
+	proto, err := r.buildProtocol(n)
+	if err != nil {
+		return
+	}
+	n.proto = proto
+	n.down = false
+	tp := r.sc.DecoyTopic
+	if n.subscribed {
+		tp = r.sc.EventTopic
+	}
+	_ = n.proto.Subscribe(tp)
+}
+
+// collect assembles the Result after the run.
+func (r *runner) collect() *Result {
+	res := &Result{
+		Scenario:   r.sc,
+		Published:  r.published,
+		Deliveries: r.records,
+		Nodes:      make([]NodeResult, len(r.nodes)),
+	}
+	for i, n := range r.nodes {
+		proto := n.totalStats()
+		macC := n.port.Counters()
+		if r.snapProto != nil {
+			proto = subStats(proto, r.snapProto[i])
+			macC = subMAC(macC, r.snapMAC[i])
+		}
+		res.Nodes[i] = NodeResult{
+			ID:         n.id,
+			Subscribed: n.subscribed,
+			Proto:      proto,
+			MAC:        macC,
+		}
+	}
+	res.computeOutcomes(r.deliveries, r.nodes)
+	return res
+}
+
+func subStats(a, b core.Stats) core.Stats {
+	return core.Stats{
+		HeartbeatsSent: a.HeartbeatsSent - b.HeartbeatsSent,
+		IDListsSent:    a.IDListsSent - b.IDListsSent,
+		EventMsgsSent:  a.EventMsgsSent - b.EventMsgsSent,
+		EventsSent:     a.EventsSent - b.EventsSent,
+		EventsReceived: a.EventsReceived - b.EventsReceived,
+		Delivered:      a.Delivered - b.Delivered,
+		Duplicates:     a.Duplicates - b.Duplicates,
+		Parasites:      a.Parasites - b.Parasites,
+		ExpiredDrops:   a.ExpiredDrops - b.ExpiredDrops,
+		Published:      a.Published - b.Published,
+		TableEvictions: a.TableEvictions - b.TableEvictions,
+		NeighborsGCed:  a.NeighborsGCed - b.NeighborsGCed,
+	}
+}
+
+func subMAC(a, b mac.Counters) mac.Counters {
+	return mac.Counters{
+		FramesSent:     a.FramesSent - b.FramesSent,
+		AppBytesSent:   a.AppBytesSent - b.AppBytesSent,
+		MACBytesSent:   a.MACBytesSent - b.MACBytesSent,
+		FramesReceived: a.FramesReceived - b.FramesReceived,
+		FramesLost:     a.FramesLost - b.FramesLost,
+		FramesFaded:    a.FramesFaded - b.FramesFaded,
+		QueueDrops:     a.QueueDrops - b.QueueDrops,
+		Defers:         a.Defers - b.Defers,
+	}
+}

@@ -1,0 +1,68 @@
+package radio
+
+import "math"
+
+// The paper's QualNet setup uses a *statistical* propagation model (with
+// a -111 dBm limit) on top of the two-ray path loss: reception near the
+// nominal range boundary is probabilistic, not a hard disc. Shadowing
+// reproduces that with the standard log-normal shadowing model: received
+// power at distance d is ReceivedPowerDBm(d) plus a zero-mean Gaussian
+// with deviation SigmaDB.
+
+// Shadowing is a log-normal shadowing reception model.
+type Shadowing struct {
+	// Params is the deterministic propagation model.
+	Params Params
+	// SensitivityDBm is the receiver sensitivity threshold.
+	SensitivityDBm float64
+	// SigmaDB is the shadowing deviation (typical outdoor: 4-8 dB).
+	// Zero degenerates to the deterministic disc.
+	SigmaDB float64
+	// LimitDBm discards signals below this floor regardless of the
+	// shadowing draw (QualNet's propagation limit, -111 dBm in the
+	// paper). Zero disables the floor.
+	LimitDBm float64
+}
+
+// ReceiveProb returns the probability that a frame transmitted from
+// distance d meters is received: P[Pr(d) + N(0, sigma) >= sensitivity].
+func (s Shadowing) ReceiveProb(d float64) float64 {
+	pr := s.Params.ReceivedPowerDBm(d)
+	if s.LimitDBm != 0 && pr < s.LimitDBm {
+		return 0
+	}
+	if s.SigmaDB <= 0 {
+		if pr >= s.SensitivityDBm {
+			return 1
+		}
+		return 0
+	}
+	// P[X >= sens-pr] for X ~ N(0, sigma) = Q((sens-pr)/sigma).
+	z := (s.SensitivityDBm - pr) / s.SigmaDB
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// MaxRange returns the distance beyond which reception probability drops
+// below eps — a pruning radius for simulators so they can skip hopeless
+// receivers.
+func (s Shadowing) MaxRange(eps float64) float64 {
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	lo, hi := 1e-3, 100_000.0
+	if s.ReceiveProb(hi) >= eps {
+		return hi
+	}
+	if s.ReceiveProb(lo) < eps {
+		return 0
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if s.ReceiveProb(mid) >= eps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

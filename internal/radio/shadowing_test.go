@@ -1,0 +1,100 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultShadowing(sigma float64) Shadowing {
+	return Shadowing{
+		Params:         Default80211b(),
+		SensitivityDBm: -89,
+		SigmaDB:        sigma,
+		LimitDBm:       -111,
+	}
+}
+
+func TestShadowingDegeneratesToDisc(t *testing.T) {
+	s := defaultShadowing(0)
+	r, err := s.Params.RangeFor(s.SensitivityDBm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReceiveProb(r * 0.9); got != 1 {
+		t.Fatalf("inside disc prob = %v, want 1", got)
+	}
+	if got := s.ReceiveProb(r * 1.1); got != 0 {
+		t.Fatalf("outside disc prob = %v, want 0", got)
+	}
+}
+
+func TestShadowingHalfAtNominalRange(t *testing.T) {
+	// At the distance where mean received power equals the sensitivity,
+	// reception probability is exactly 1/2 for any sigma.
+	s := defaultShadowing(6)
+	r, err := s.Params.RangeFor(s.SensitivityDBm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReceiveProb(r); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("prob at nominal range = %v, want ~0.5", got)
+	}
+}
+
+func TestShadowingMonotone(t *testing.T) {
+	s := defaultShadowing(6)
+	prev := 1.1
+	for d := 10.0; d < 5000; d *= 1.4 {
+		p := s.ReceiveProb(d)
+		if p > prev+1e-12 {
+			t.Fatalf("probability increased with distance at %vm", d)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestShadowingSigmaWidensTail(t *testing.T) {
+	// More shadowing means more reception probability far beyond the
+	// nominal range.
+	narrow, wide := defaultShadowing(2), defaultShadowing(8)
+	r, _ := narrow.Params.RangeFor(narrow.SensitivityDBm)
+	d := r * 1.3
+	if wide.ReceiveProb(d) <= narrow.ReceiveProb(d) {
+		t.Fatalf("sigma=8 tail (%v) should exceed sigma=2 tail (%v) at %vm",
+			wide.ReceiveProb(d), narrow.ReceiveProb(d), d)
+	}
+}
+
+func TestShadowingLimitFloor(t *testing.T) {
+	s := defaultShadowing(8)
+	// Find a distance where mean power is below the -111 dBm limit: the
+	// probability must be exactly 0 no matter the sigma.
+	d := 50000.0
+	if s.Params.ReceivedPowerDBm(d) >= s.LimitDBm {
+		t.Skip("test distance not beyond the limit")
+	}
+	if got := s.ReceiveProb(d); got != 0 {
+		t.Fatalf("beyond the propagation limit prob = %v, want 0", got)
+	}
+}
+
+func TestShadowingMaxRange(t *testing.T) {
+	s := defaultShadowing(6)
+	r := s.MaxRange(1e-3)
+	if r <= 0 {
+		t.Fatal("MaxRange returned nothing")
+	}
+	if p := s.ReceiveProb(r * 1.05); p >= 1e-3 {
+		t.Fatalf("prob just beyond MaxRange = %v, want < 1e-3", p)
+	}
+	if p := s.ReceiveProb(r * 0.8); p < 1e-3 {
+		t.Fatalf("prob well inside MaxRange = %v, want >= 1e-3", p)
+	}
+	nominal, _ := s.Params.RangeFor(s.SensitivityDBm)
+	if r <= nominal {
+		t.Fatalf("pruning radius %v should exceed nominal range %v", r, nominal)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// All scheduled callbacks run on the goroutine that calls Run, RunUntil or
+// Step; the engine itself is not safe for concurrent use. Callbacks may
+// schedule further work. Scheduling a callback in the past clamps it to the
+// current instant.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	halt  bool
+
+	// Executed counts callbacks that have run; useful for progress
+	// accounting and loop-detection in tests.
+	executed uint64
+}
+
+// New returns an engine whose clock starts at the epoch and whose
+// randomness derives entirely from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current instant of the simulation clock.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of callbacks that have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Rand returns the engine's root RNG. Prefer NewRand for per-entity
+// streams so that entities stay independent of each other's draw order.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewRand derives an independent RNG stream from the engine seed.
+func (e *Engine) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	it *item
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the callback from running. Stopping a nil or already-fired
+// timer is a no-op returning false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.it == nil || t.it.stopped || t.it.fn == nil {
+		return false
+	}
+	t.it.stopped = true
+	return true
+}
+
+// Stopped reports whether Stop was called before the timer fired.
+func (t *Timer) Stopped() bool { return t != nil && t.it != nil && t.it.stopped }
+
+// At schedules fn to run at instant at (clamped to now if in the past) and
+// returns a cancellable handle.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d from now. Negative d behaves like zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Halt stops the currently running Run/RunUntil loop after the current
+// callback returns. Pending events remain queued.
+func (e *Engine) Halt() { e.halt = true }
+
+// Pending returns the number of queued (possibly stopped) callbacks.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step runs the single earliest pending callback, advancing the clock to
+// its instant. It reports whether any callback ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*item)
+		fn := it.fn
+		it.fn = nil
+		if it.stopped {
+			continue
+		}
+		e.now = it.at
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes callbacks until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halt = false
+	for !e.halt && e.Step() {
+	}
+}
+
+// RunUntil executes all callbacks scheduled at or before limit, then
+// advances the clock to limit. Callbacks scheduled later stay queued.
+func (e *Engine) RunUntil(limit Time) {
+	e.halt = false
+	for !e.halt {
+		next, ok := e.peek()
+		if !ok || next > limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// peek returns the instant of the earliest live callback.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].stopped {
+			it := heap.Pop(&e.queue).(*item)
+			it.fn = nil
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}

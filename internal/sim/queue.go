@@ -1,0 +1,48 @@
+package sim
+
+import "container/heap"
+
+// item is a scheduled callback in the event queue.
+type item struct {
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among equal times
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*item
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,48 @@
+package topic_test
+
+import (
+	"fmt"
+
+	"repro/internal/topic"
+)
+
+// ExampleTopic_Contains shows the subtree semantics of subscriptions: a
+// topic covers itself and everything below it.
+func ExampleTopic_Contains() {
+	conferences := topic.MustParse(".grenoble.conferences")
+	middleware := topic.MustParse(".grenoble.conferences.middleware")
+
+	fmt.Println(conferences.Contains(middleware))
+	fmt.Println(middleware.Contains(conferences))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleSet_Covers shows how a subscription set decides interest in a
+// published event.
+func ExampleSet_Covers() {
+	subs := topic.NewSet(topic.MustParse(".city.parking"))
+
+	fmt.Println(subs.Covers(topic.MustParse(".city.parking.lotA")))
+	fmt.Println(subs.Covers(topic.MustParse(".city.traffic")))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleSet_Minimal shows subscription-list minimization: subtopics
+// subsumed by an ancestor carry no extra information on the wire.
+func ExampleSet_Minimal() {
+	subs := topic.NewSet(
+		topic.MustParse(".a"),
+		topic.MustParse(".a.b"),
+		topic.MustParse(".c"),
+	)
+	for _, t := range subs.Minimal() {
+		fmt.Println(t)
+	}
+	// Output:
+	// .a
+	// .c
+}

@@ -1,0 +1,158 @@
+package topic
+
+import "sort"
+
+// Set is a mutable collection of subscriptions. The zero value is an empty
+// set ready to use. Set is not safe for concurrent use.
+type Set struct {
+	m map[Topic]struct{}
+}
+
+// NewSet returns a set holding the given topics.
+func NewSet(ts ...Topic) *Set {
+	s := &Set{}
+	for _, t := range ts {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts t and reports whether the set changed. Adding the zero topic
+// is a no-op.
+func (s *Set) Add(t Topic) bool {
+	if t.IsZero() {
+		return false
+	}
+	if s.m == nil {
+		s.m = make(map[Topic]struct{})
+	}
+	if _, ok := s.m[t]; ok {
+		return false
+	}
+	s.m[t] = struct{}{}
+	return true
+}
+
+// Remove deletes t and reports whether it was present.
+func (s *Set) Remove(t Topic) bool {
+	if _, ok := s.m[t]; !ok {
+		return false
+	}
+	delete(s.m, t)
+	return true
+}
+
+// Len returns the number of subscriptions.
+func (s *Set) Len() int { return len(s.m) }
+
+// Empty reports whether the set has no subscriptions.
+func (s *Set) Empty() bool { return len(s.m) == 0 }
+
+// Has reports whether t is an exact member (no subtree semantics).
+func (s *Set) Has(t Topic) bool {
+	_, ok := s.m[t]
+	return ok
+}
+
+// Covers reports whether some subscription in the set is an
+// ancestor-or-equal of t: an event published on t is of interest to this
+// subscriber.
+func (s *Set) Covers(t Topic) bool {
+	for sub := range s.m {
+		if sub.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether any pair of subscriptions across the two sets
+// is related (one covers the other). This is the paper's neighbor-matching
+// rule: two processes are mutually interesting when their subscription
+// sets overlap.
+func (s *Set) Overlaps(o *Set) bool {
+	if s == nil || o == nil {
+		return false
+	}
+	// Iterate over the smaller set for the outer loop.
+	a, b := s, o
+	if b.Len() < a.Len() {
+		a, b = b, a
+	}
+	for ta := range a.m {
+		for tb := range b.m {
+			if ta.Related(tb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Topics returns the members sorted by canonical name.
+func (s *Set) Topics() []Topic {
+	out := make([]Topic, 0, len(s.m))
+	for t := range s.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{}
+	for t := range s.m {
+		c.Add(t)
+	}
+	return c
+}
+
+// Minimal returns the smallest subscription list with the same coverage:
+// topics subsumed by an ancestor in the set are dropped. Subscribing to
+// ".a" and ".a.b" covers exactly what ".a" alone covers, so heartbeats
+// only need to announce the minimal set — an optimization the
+// topic-hierarchy semantics make free.
+func (s *Set) Minimal() []Topic {
+	ts := s.Topics()
+	out := ts[:0:0]
+	for _, t := range ts {
+		subsumed := false
+		for _, anc := range ts {
+			if anc != t && anc.Contains(t) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two sets hold exactly the same topics.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for t := range s.m {
+		if !o.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the set as a sorted, comma-separated list.
+func (s *Set) String() string {
+	ts := s.Topics()
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += ","
+		}
+		out += t.String()
+	}
+	return "{" + out + "}"
+}

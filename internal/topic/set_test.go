@@ -1,0 +1,186 @@
+package topic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	var s Set // zero value usable
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero set should be empty")
+	}
+	a := MustParse(".a")
+	if !s.Add(a) {
+		t.Fatal("first Add should report change")
+	}
+	if s.Add(a) {
+		t.Fatal("second Add should report no change")
+	}
+	if !s.Has(a) || s.Len() != 1 {
+		t.Fatal("membership after Add")
+	}
+	if !s.Remove(a) || s.Remove(a) {
+		t.Fatal("Remove semantics")
+	}
+	if !s.Empty() {
+		t.Fatal("set should be empty after Remove")
+	}
+}
+
+func TestSetAddZeroTopic(t *testing.T) {
+	var s Set
+	if s.Add(Topic{}) {
+		t.Fatal("adding zero topic should be a no-op")
+	}
+	if !s.Empty() {
+		t.Fatal("set should remain empty")
+	}
+}
+
+func TestSetCovers(t *testing.T) {
+	s := NewSet(MustParse(".t0.t1"))
+	tests := []struct {
+		tp   string
+		want bool
+	}{
+		{".t0.t1", true},
+		{".t0.t1.t2", true}, // subtopic events are covered
+		{".t0", false},      // ancestor events are not
+		{".t9", false},
+	}
+	for _, tt := range tests {
+		if got := s.Covers(MustParse(tt.tp)); got != tt.want {
+			t.Errorf("Covers(%s) = %v, want %v", tt.tp, got, tt.want)
+		}
+	}
+}
+
+func TestSetOverlaps(t *testing.T) {
+	t0 := NewSet(MustParse(".t0"))
+	t1 := NewSet(MustParse(".t0.t1"))
+	t2 := NewSet(MustParse(".t0.t1.t2"))
+	other := NewSet(MustParse(".x"))
+	empty := NewSet()
+
+	if !t0.Overlaps(t2) || !t2.Overlaps(t0) {
+		t.Fatal("ancestor/descendant sets must overlap (paper Fig 1)")
+	}
+	if !t1.Overlaps(t2) {
+		t.Fatal("t1/t2 must overlap")
+	}
+	if t1.Overlaps(other) {
+		t.Fatal("unrelated sets must not overlap")
+	}
+	if empty.Overlaps(t0) || t0.Overlaps(empty) {
+		t.Fatal("empty set overlaps nothing")
+	}
+	if t0.Overlaps(nil) {
+		t.Fatal("nil set overlaps nothing")
+	}
+}
+
+func TestSetTopicsSorted(t *testing.T) {
+	s := NewSet(MustParse(".c"), MustParse(".a"), MustParse(".b"))
+	ts := s.Topics()
+	if len(ts) != 3 || ts[0].String() != ".a" || ts[2].String() != ".c" {
+		t.Fatalf("Topics = %v", ts)
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := NewSet(MustParse(".a"))
+	c := s.Clone()
+	c.Add(MustParse(".b"))
+	if s.Has(MustParse(".b")) {
+		t.Fatal("Clone must be independent")
+	}
+	if !s.Equal(NewSet(MustParse(".a"))) {
+		t.Fatal("Equal on same content")
+	}
+	if s.Equal(c) {
+		t.Fatal("Equal on different content")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet(MustParse(".b"), MustParse(".a"))
+	if got := s.String(); got != "{.a,.b}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Overlaps is symmetric, and Covers(t) implies Overlaps with any
+// set containing t.
+func TestOverlapsSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		a, b := NewSet(), NewSet()
+		for j := 0; j < 1+r.Intn(3); j++ {
+			a.Add(randomTopic(r))
+			b.Add(randomTopic(r))
+		}
+		if a.Overlaps(b) != b.Overlaps(a) {
+			t.Fatalf("Overlaps not symmetric: %v vs %v", a, b)
+		}
+		tp := randomTopic(r)
+		if a.Covers(tp) && !a.Overlaps(NewSet(tp)) {
+			t.Fatalf("Covers without Overlaps: %v, %v", a, tp)
+		}
+	}
+}
+
+func TestMinimal(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []string
+		want []string
+	}{
+		{"empty", nil, nil},
+		{"disjoint", []string{".a", ".b"}, []string{".a", ".b"}},
+		{"child subsumed", []string{".a", ".a.b"}, []string{".a"}},
+		{"deep chain", []string{".a", ".a.b", ".a.b.c"}, []string{".a"}},
+		{"root wins", []string{".", ".x", ".y.z"}, []string{"."}},
+		{"mixed", []string{".a.b", ".a.b.c", ".d"}, []string{".a.b", ".d"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSet()
+			for _, n := range tt.in {
+				s.Add(MustParse(n))
+			}
+			got := s.Minimal()
+			if len(got) != len(tt.want) {
+				t.Fatalf("Minimal = %v, want %v", got, tt.want)
+			}
+			for i := range tt.want {
+				if got[i].String() != tt.want[i] {
+					t.Fatalf("Minimal = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// Property: the minimal set covers exactly the same topics as the full
+// set.
+func TestMinimalCoverageEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		s := NewSet()
+		for j := 0; j < 1+r.Intn(5); j++ {
+			s.Add(randomTopic(r))
+		}
+		min := NewSet(s.Minimal()...)
+		for j := 0; j < 20; j++ {
+			probe := randomTopic(r)
+			if s.Covers(probe) != min.Covers(probe) {
+				t.Fatalf("coverage differs for %v: full %v minimal %v",
+					probe, s, min)
+			}
+		}
+		if min.Len() > s.Len() {
+			t.Fatal("minimal set larger than original")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package topic
+
+// Tree is a hierarchical map from topics to values, mirroring the topic
+// tree. It supports efficient subtree walks, which the event table uses to
+// answer "all events under any of these subscriptions" queries the way the
+// paper's Figure 3 organizes stored events.
+//
+// The zero value is an empty tree ready to use.
+type Tree[V any] struct {
+	root *treeNode[V]
+	size int
+}
+
+type treeNode[V any] struct {
+	children map[string]*treeNode[V]
+	values   []V
+}
+
+func (n *treeNode[V]) child(seg string, create bool) *treeNode[V] {
+	if c, ok := n.children[seg]; ok {
+		return c
+	}
+	if !create {
+		return nil
+	}
+	if n.children == nil {
+		n.children = make(map[string]*treeNode[V])
+	}
+	c := &treeNode[V]{}
+	n.children[seg] = c
+	return c
+}
+
+func (tr *Tree[V]) node(t Topic, create bool) *treeNode[V] {
+	if tr.root == nil {
+		if !create {
+			return nil
+		}
+		tr.root = &treeNode[V]{}
+	}
+	n := tr.root
+	for _, seg := range t.Segments() {
+		if n = n.child(seg, create); n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// Add appends v to the values stored at topic t.
+func (tr *Tree[V]) Add(t Topic, v V) {
+	if t.IsZero() {
+		return
+	}
+	n := tr.node(t, true)
+	n.values = append(n.values, v)
+	tr.size++
+}
+
+// At returns the values stored exactly at t (not its subtree).
+func (tr *Tree[V]) At(t Topic) []V {
+	n := tr.node(t, false)
+	if n == nil {
+		return nil
+	}
+	return n.values
+}
+
+// Len returns the total number of stored values.
+func (tr *Tree[V]) Len() int { return tr.size }
+
+// WalkSubtree calls fn for every value stored at t or below it, passing
+// the value's topic. Iteration stops early when fn returns false.
+func (tr *Tree[V]) WalkSubtree(t Topic, fn func(Topic, V) bool) {
+	n := tr.node(t, false)
+	if n == nil {
+		return
+	}
+	walk(n, t, fn)
+}
+
+func walk[V any](n *treeNode[V], at Topic, fn func(Topic, V) bool) bool {
+	for _, v := range n.values {
+		if !fn(at, v) {
+			return false
+		}
+	}
+	for seg, c := range n.children {
+		ct, err := at.Child(seg)
+		if err != nil {
+			continue
+		}
+		if !walk(c, ct, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveFunc deletes all values at topic t for which match returns true
+// and reports how many were removed. Empty branches are pruned lazily (the
+// node remains but holds no values; memory is negligible at our scales).
+func (tr *Tree[V]) RemoveFunc(t Topic, match func(V) bool) int {
+	n := tr.node(t, false)
+	if n == nil {
+		return 0
+	}
+	kept := n.values[:0]
+	removed := 0
+	for _, v := range n.values {
+		if match(v) {
+			removed++
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	var zero V
+	for i := len(kept); i < len(n.values); i++ {
+		n.values[i] = zero
+	}
+	n.values = kept
+	tr.size -= removed
+	return removed
+}

@@ -1,0 +1,105 @@
+package topic
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestTreeAddAt(t *testing.T) {
+	var tr Tree[int]
+	a, ab := MustParse(".a"), MustParse(".a.b")
+	tr.Add(a, 1)
+	tr.Add(ab, 2)
+	tr.Add(ab, 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.At(a); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("At(.a) = %v", got)
+	}
+	if got := tr.At(ab); len(got) != 2 {
+		t.Fatalf("At(.a.b) = %v", got)
+	}
+	if got := tr.At(MustParse(".zz")); got != nil {
+		t.Fatalf("At missing = %v", got)
+	}
+}
+
+func TestTreeWalkSubtree(t *testing.T) {
+	var tr Tree[int]
+	tr.Add(MustParse(".a"), 1)
+	tr.Add(MustParse(".a.b"), 2)
+	tr.Add(MustParse(".a.b.c"), 3)
+	tr.Add(MustParse(".x"), 4)
+
+	collect := func(at Topic) []int {
+		var out []int
+		tr.WalkSubtree(at, func(_ Topic, v int) bool {
+			out = append(out, v)
+			return true
+		})
+		sort.Ints(out)
+		return out
+	}
+
+	if got := collect(MustParse(".a")); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("subtree .a = %v", got)
+	}
+	if got := collect(Root()); len(got) != 4 {
+		t.Fatalf("subtree root = %v", got)
+	}
+	if got := collect(MustParse(".x")); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("subtree .x = %v", got)
+	}
+	if got := collect(MustParse(".none")); len(got) != 0 {
+		t.Fatalf("subtree .none = %v", got)
+	}
+}
+
+func TestTreeWalkEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 10; i++ {
+		tr.Add(MustParse(".a"), i)
+	}
+	seen := 0
+	tr.WalkSubtree(Root(), func(_ Topic, _ int) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("seen = %d, want 3 (early stop)", seen)
+	}
+}
+
+func TestTreeWalkReportsTopics(t *testing.T) {
+	var tr Tree[string]
+	tr.Add(MustParse(".a.b"), "v")
+	tr.WalkSubtree(MustParse(".a"), func(at Topic, v string) bool {
+		if at.String() != ".a.b" {
+			t.Errorf("walk topic = %v, want .a.b", at)
+		}
+		return true
+	})
+}
+
+func TestTreeRemoveFunc(t *testing.T) {
+	var tr Tree[int]
+	ab := MustParse(".a.b")
+	for i := 0; i < 5; i++ {
+		tr.Add(ab, i)
+	}
+	n := tr.RemoveFunc(ab, func(v int) bool { return v%2 == 0 })
+	if n != 3 {
+		t.Fatalf("removed = %d, want 3", n)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	left := tr.At(ab)
+	if len(left) != 2 || left[0] != 1 || left[1] != 3 {
+		t.Fatalf("left = %v", left)
+	}
+	if n := tr.RemoveFunc(MustParse(".missing"), func(int) bool { return true }); n != 0 {
+		t.Fatalf("RemoveFunc on missing topic = %d", n)
+	}
+}

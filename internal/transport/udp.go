@@ -1,0 +1,184 @@
+// Package transport provides real-network transports for the protocol.
+//
+// UDP emulates the one-hop broadcast primitive of a MANET MAC layer with
+// UDP datagrams fanned out to a static peer group — the standard way to
+// run MANET protocols in LAN testbeds. Combined with core.NewSafe and a
+// wall-clock core.Scheduler, the protocol runs unchanged on real
+// sockets (see TestUDPEndToEnd and examples/inprocess for the in-memory
+// analogue).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+)
+
+// maxDatagram bounds incoming datagrams; protocol messages are far
+// smaller (a full 20-event push is ~9 kB).
+const maxDatagram = 64 * 1024
+
+// UDPConfig configures a UDP transport.
+type UDPConfig struct {
+	// Listen is the local address to bind, e.g. "127.0.0.1:0".
+	Listen string
+	// Peers are the initial peer addresses; the local address is
+	// filtered out automatically.
+	Peers []string
+	// Handler receives every decoded incoming message. It is called
+	// from the transport's read goroutine, so pass core.Safe's
+	// HandleMessage (or synchronize yourself). Required.
+	Handler func(event.Message)
+	// OnError, when non-nil, receives decode and I/O errors. Transient
+	// errors never stop the read loop.
+	OnError func(error)
+}
+
+// Stats are cumulative transport counters, safe to read concurrently.
+type Stats struct {
+	DatagramsSent     uint64
+	DatagramsReceived uint64
+	DecodeErrors      uint64
+	SendErrors        uint64
+}
+
+// UDP is a peer-group broadcast transport. It implements core.Transport.
+type UDP struct {
+	conn    net.PacketConn
+	handler func(event.Message)
+	onError func(error)
+
+	mu    sync.RWMutex
+	peers []*net.UDPAddr
+
+	sent, received, decodeErrs, sendErrs atomic.Uint64
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewUDP binds the listen address, resolves the peer group and starts
+// the read loop.
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("transport: nil Handler")
+	}
+	conn, err := net.ListenPacket("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	u := &UDP{
+		conn:    conn,
+		handler: cfg.Handler,
+		onError: cfg.OnError,
+		done:    make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if err := u.AddPeer(p); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	u.wg.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound address (useful with ":0" listens).
+func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// AddPeer adds a peer address to the broadcast group. The local address
+// is ignored, making it safe to pass the same full roster to every node.
+func (u *UDP) AddPeer(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: peer %s: %w", addr, err)
+	}
+	if ua.String() == u.conn.LocalAddr().String() {
+		return nil
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, p := range u.peers {
+		if p.String() == ua.String() {
+			return nil
+		}
+	}
+	u.peers = append(u.peers, ua)
+	return nil
+}
+
+// Broadcast implements core.Transport: marshal once, send to every peer.
+// Datagram loss is expected and tolerated by the protocol, so send
+// errors are counted, reported to OnError, and otherwise ignored.
+func (u *UDP) Broadcast(m event.Message) {
+	wire := event.Marshal(m)
+	u.mu.RLock()
+	peers := u.peers
+	u.mu.RUnlock()
+	for _, p := range peers {
+		if _, err := u.conn.WriteTo(wire, p); err != nil {
+			u.sendErrs.Add(1)
+			u.reportError(fmt.Errorf("transport: send to %s: %w", p, err))
+			continue
+		}
+		u.sent.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (u *UDP) Stats() Stats {
+	return Stats{
+		DatagramsSent:     u.sent.Load(),
+		DatagramsReceived: u.received.Load(),
+		DecodeErrors:      u.decodeErrs.Load(),
+		SendErrors:        u.sendErrs.Load(),
+	}
+}
+
+// Close stops the read loop and releases the socket. It is idempotent.
+func (u *UDP) Close() error {
+	var err error
+	u.closeOnce.Do(func() {
+		close(u.done)
+		err = u.conn.Close()
+		u.wg.Wait()
+	})
+	return err
+}
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := u.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return // closed: expected
+			default:
+			}
+			u.reportError(fmt.Errorf("transport: read: %w", err))
+			continue
+		}
+		msg, err := event.Unmarshal(buf[:n])
+		if err != nil {
+			u.decodeErrs.Add(1)
+			u.reportError(fmt.Errorf("transport: decode %d bytes: %w", n, err))
+			continue
+		}
+		u.received.Add(1)
+		u.handler(msg)
+	}
+}
+
+func (u *UDP) reportError(err error) {
+	if u.onError != nil {
+		u.onError(err)
+	}
+}

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/topic"
+)
+
+// collect gathers messages from a transport handler.
+type collect struct {
+	mu   sync.Mutex
+	msgs []event.Message
+}
+
+func (c *collect) handle(m event.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collect) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newPair(t *testing.T) (*UDP, *UDP, *collect, *collect) {
+	t.Helper()
+	var ca, cb collect
+	a, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: ca.handle})
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: cb.handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.AddPeer(b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, &ca, &cb
+}
+
+func TestUDPBasicExchange(t *testing.T) {
+	a, _, _, cb := newPair(t)
+	a.Broadcast(event.Heartbeat{
+		From:          1,
+		Subscriptions: []topic.Topic{topic.MustParse(".t")},
+		Speed:         3,
+	})
+	waitFor(t, func() bool { return cb.count() == 1 }, "heartbeat at b")
+	cb.mu.Lock()
+	hb, ok := cb.msgs[0].(event.Heartbeat)
+	cb.mu.Unlock()
+	if !ok || hb.From != 1 || hb.Speed != 3 {
+		t.Fatalf("got %+v", cb.msgs[0])
+	}
+	if s := a.Stats(); s.DatagramsSent != 1 {
+		t.Fatalf("sender stats = %+v", s)
+	}
+}
+
+func TestUDPSelfPeerFiltered(t *testing.T) {
+	var c collect
+	u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: c.handle})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	if err := u.AddPeer(u.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	u.Broadcast(event.Heartbeat{From: 1})
+	time.Sleep(50 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("node received its own broadcast")
+	}
+	if s := u.Stats(); s.DatagramsSent != 0 {
+		t.Fatal("self peer was not filtered")
+	}
+}
+
+func TestUDPDuplicatePeerIgnored(t *testing.T) {
+	a, b, _, cb := newPair(t)
+	// Adding b again must not double deliveries.
+	if err := a.AddPeer(b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	a.Broadcast(event.IDList{From: 1})
+	waitFor(t, func() bool { return cb.count() >= 1 }, "idlist at b")
+	time.Sleep(50 * time.Millisecond)
+	if cb.count() != 1 {
+		t.Fatalf("b received %d copies, want 1", cb.count())
+	}
+}
+
+func TestUDPDecodeErrorsCounted(t *testing.T) {
+	var errs []error
+	var mu sync.Mutex
+	var c collect
+	u, err := NewUDP(UDPConfig{
+		Listen:  "127.0.0.1:0",
+		Handler: c.handle,
+		OnError: func(e error) { mu.Lock(); errs = append(errs, e); mu.Unlock() },
+	})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	// Throw garbage at the socket.
+	peer, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	raw := []byte{0xff, 0x01, 0x02}
+	if _, err := peer.conn.WriteTo(raw, u.conn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return u.Stats().DecodeErrors == 1 }, "decode error")
+	if c.count() != 0 {
+		t.Fatal("garbage delivered as message")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 {
+		t.Fatalf("OnError called %d times", len(errs))
+	}
+}
+
+func TestUDPCloseIdempotent(t *testing.T) {
+	u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	u.Broadcast(event.Heartbeat{From: 1}) // must not panic after close
+}
+
+func TestUDPConfigValidation(t *testing.T) {
+	if _, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0"}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if _, err := NewUDP(UDPConfig{
+		Listen:  "127.0.0.1:0",
+		Peers:   []string{"not an address"},
+		Handler: func(event.Message) {},
+	}); err == nil {
+		t.Fatal("bad peer accepted")
+	}
+}
+
+// wallSched is a real-time core.Scheduler for the end-to-end test.
+type wallSched struct{ start time.Time }
+
+func (w wallSched) Now() time.Duration { return time.Since(w.start) }
+func (w wallSched) After(d time.Duration, fn func()) core.Timer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// TestUDPEndToEnd runs the full frugal protocol between three processes
+// over real UDP sockets: discovery via heartbeats, id exchange, event
+// dissemination — the complete paper pipeline on an actual network
+// stack.
+func TestUDPEndToEnd(t *testing.T) {
+	news := topic.MustParse(".net.news")
+	sched := wallSched{start: time.Now()}
+
+	type nodeT struct {
+		udp   *UDP
+		proto *core.Safe
+		got   chan event.Event
+	}
+	nodes := make([]*nodeT, 3)
+	for i := range nodes {
+		n := &nodeT{got: make(chan event.Event, 8)}
+		udp, err := NewUDP(UDPConfig{
+			Listen:  "127.0.0.1:0",
+			Handler: func(m event.Message) { _ = n.proto.HandleMessage(m) },
+		})
+		if err != nil {
+			t.Skipf("UDP unavailable: %v", err)
+		}
+		t.Cleanup(func() { udp.Close() })
+		n.udp = udp
+		proto, err := core.NewSafe(core.Config{
+			ID:           event.NodeID(i),
+			HBDelay:      100 * time.Millisecond,
+			HBUpperBound: 100 * time.Millisecond,
+			OnDeliver:    func(ev event.Event) { n.got <- ev },
+		}, sched, udp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(proto.Stop)
+		n.proto = proto
+		nodes[i] = n
+	}
+	// Full mesh.
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if err := a.udp.AddPeer(b.udp.LocalAddr().String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if err := n.proto.Subscribe(news); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for discovery.
+	waitFor(t, func() bool {
+		for _, n := range nodes {
+			if len(n.proto.NeighborIDs()) != 2 {
+				return false
+			}
+		}
+		return true
+	}, "full discovery over UDP")
+
+	id, err := nodes[0].proto.Publish(news, []byte("over real sockets"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		select {
+		case ev := <-n.got:
+			if ev.ID != id || string(ev.Payload) != "over real sockets" {
+				t.Fatalf("node %d got wrong event %+v", i, ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("node %d never delivered", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package pubsub is the public face of the library: a single import for
+// embedding the frugal MANET publish/subscribe protocol in an
+// application.
+//
+// It re-exports the stable pieces of the internal packages — topics,
+// events, the wire format, the protocol configuration — and wraps the
+// protocol in a goroutine-safe Node with a ready-made wall-clock
+// scheduler and UDP transport, so the minimal deployment is:
+//
+//	node, _ := pubsub.NewUDPNode(pubsub.Config{ID: 1},
+//	    "0.0.0.0:7946", []string{"10.0.0.2:7946", "10.0.0.3:7946"})
+//	defer node.Close()
+//	node.Subscribe(pubsub.MustParseTopic(".fleet.alerts"))
+//	node.Publish(pubsub.MustParseTopic(".fleet.alerts.engine"),
+//	    []byte("oil pressure low"), 2*time.Minute)
+//
+// For simulation and evaluation, use internal/netsim and cmd/experiments
+// instead; this package is for running the protocol on real transports.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/topic"
+	"repro/internal/transport"
+)
+
+// Re-exported core types. Aliases keep the public surface to one import
+// without copying definitions.
+type (
+	// Topic is a node in the dot-separated topic hierarchy.
+	Topic = topic.Topic
+	// Event is a published unit of information with a validity period.
+	Event = event.Event
+	// EventID is a 128-bit globally unique event identifier.
+	EventID = event.ID
+	// NodeID identifies a process.
+	NodeID = event.NodeID
+	// Message is a protocol wire message.
+	Message = event.Message
+	// Config parameterizes a protocol instance; zero tuning fields
+	// select the paper's defaults.
+	Config = core.Config
+	// Scheduler abstracts time; implement it to control timers, or use
+	// the built-in wall clock via NewNode.
+	Scheduler = core.Scheduler
+	// Transport is the one-hop broadcast primitive.
+	Transport = core.Transport
+	// Timer is a cancellable scheduled callback.
+	Timer = core.Timer
+	// Stats are the protocol's cumulative counters.
+	Stats = core.Stats
+)
+
+// ParseTopic converts a string such as ".a.b" (or "a.b") into a Topic.
+func ParseTopic(s string) (Topic, error) { return topic.Parse(s) }
+
+// MustParseTopic is ParseTopic that panics on error.
+func MustParseTopic(s string) Topic { return topic.MustParse(s) }
+
+// RootTopic returns ".", the ancestor of every topic.
+func RootTopic() Topic { return topic.Root() }
+
+// Marshal encodes a protocol message into its wire format.
+func Marshal(m Message) []byte { return event.Marshal(m) }
+
+// Unmarshal decodes a wire-format message.
+func Unmarshal(b []byte) (Message, error) { return event.Unmarshal(b) }
+
+// Node is a goroutine-safe protocol instance bound to a transport and
+// the wall clock. Create one with NewNode (custom transport) or
+// NewUDPNode (built-in UDP peer-group transport).
+type Node struct {
+	safe  *core.Safe
+	udp   *transport.UDP // nil for custom transports
+	clock *wallClock
+}
+
+// wallClock implements Scheduler on real time.
+type wallClock struct{ start time.Time }
+
+func (w *wallClock) Now() time.Duration { return time.Since(w.start) }
+
+func (w *wallClock) After(d time.Duration, fn func()) Timer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (t wallTimer) Stop() bool { return t.t.Stop() }
+
+// NewNode builds a node on a custom transport. Deliver incoming messages
+// with Node.HandleMessage; they may arrive from any goroutine.
+func NewNode(cfg Config, tr Transport) (*Node, error) {
+	if tr == nil {
+		return nil, errors.New("pubsub: nil transport")
+	}
+	clock := &wallClock{start: time.Now()}
+	safe, err := core.NewSafe(cfg, clock, tr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: %w", err)
+	}
+	return &Node{safe: safe, clock: clock}, nil
+}
+
+// NewUDPNode builds a node with the built-in UDP peer-group transport:
+// it binds listen and broadcasts to peers (the roster may include the
+// local address; it is filtered out).
+//
+// The read loop starts before the protocol exists, so the handler goes
+// through a guarded reference; datagrams arriving during construction
+// are dropped (the node has not subscribed to anything yet).
+func NewUDPNode(cfg Config, listen string, peers []string) (*Node, error) {
+	n := &Node{clock: &wallClock{start: time.Now()}}
+	var ref struct {
+		mu   sync.RWMutex
+		safe *core.Safe
+	}
+	udp, err := transport.NewUDP(transport.UDPConfig{
+		Listen: listen,
+		Peers:  peers,
+		Handler: func(m Message) {
+			ref.mu.RLock()
+			safe := ref.safe
+			ref.mu.RUnlock()
+			if safe != nil {
+				_ = safe.HandleMessage(m)
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: %w", err)
+	}
+	safe, err := core.NewSafe(cfg, n.clock, udp)
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("pubsub: %w", err)
+	}
+	ref.mu.Lock()
+	ref.safe = safe
+	ref.mu.Unlock()
+	n.safe = safe
+	n.udp = udp
+	return n, nil
+}
+
+// Subscribe registers interest in t and its whole subtree.
+func (n *Node) Subscribe(t Topic) error { return n.safe.Subscribe(t) }
+
+// Unsubscribe removes t from the subscription list.
+func (n *Node) Unsubscribe(t Topic) { n.safe.Unsubscribe(t) }
+
+// Publish disseminates payload on t with the given validity period and
+// returns the event id.
+func (n *Node) Publish(t Topic, payload []byte, validity time.Duration) (EventID, error) {
+	return n.safe.Publish(t, payload, validity)
+}
+
+// HandleMessage feeds a message received by a custom transport into the
+// protocol. Safe to call from any goroutine.
+func (n *Node) HandleMessage(m Message) error { return n.safe.HandleMessage(m) }
+
+// Neighbors returns the ids currently in the neighborhood table.
+func (n *Node) Neighbors() []NodeID { return n.safe.NeighborIDs() }
+
+// HasEvent reports whether the node's event table holds id.
+func (n *Node) HasEvent(id EventID) bool { return n.safe.HasEvent(id) }
+
+// Stats returns a snapshot of the protocol counters.
+func (n *Node) Stats() Stats { return n.safe.Stats() }
+
+// LocalAddr returns the UDP listen address, or nil for custom
+// transports.
+func (n *Node) LocalAddr() string {
+	if n.udp == nil {
+		return ""
+	}
+	return n.udp.LocalAddr().String()
+}
+
+// AddPeer extends the UDP roster at runtime. It errors on custom
+// transports.
+func (n *Node) AddPeer(addr string) error {
+	if n.udp == nil {
+		return errors.New("pubsub: AddPeer requires the UDP transport")
+	}
+	return n.udp.AddPeer(addr)
+}
+
+// Close stops the protocol and releases the transport.
+func (n *Node) Close() error {
+	n.safe.Stop()
+	if n.udp != nil {
+		return n.udp.Close()
+	}
+	return nil
+}
