@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/exp"
 	"repro/internal/geo"
 	"repro/internal/mac"
 	"repro/internal/mobility"
@@ -383,6 +384,64 @@ func BenchmarkMACBroadcast(b *testing.B) {
 type staticLocator map[event.NodeID]geo.Point
 
 func (l staticLocator) Position(id event.NodeID, _ sim.Time) geo.Point { return l[id] }
+
+// benchLargeMedium broadcasts across a 500-node roster spread over a
+// 10x20 km strip, so each frame reaches only a handful of neighbors —
+// the regime where the medium's spatial grid beats the full-roster
+// scan.
+func benchLargeMedium(b *testing.B, fullScan bool) {
+	b.Helper()
+	eng := sim.New(1)
+	const n = 500
+	positions := make(map[event.NodeID]geo.Point)
+	for i := event.NodeID(0); i < n; i++ {
+		positions[i] = geo.Pt(float64(i%25)*400, float64(i/25)*1000)
+	}
+	cfg := mac.DefaultConfig(400)
+	cfg.SpeedBounded = true // static roster
+	cfg.FullScan = fullScan
+	medium := mac.New(eng, cfg, staticLocator(positions))
+	ports := make([]*mac.Port, n)
+	for i := event.NodeID(0); i < n; i++ {
+		ports[i] = medium.Attach(i, func(mac.Frame) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ports[i%n].Broadcast(event.Heartbeat{From: event.NodeID(i % n)}, 50)
+		eng.Run()
+	}
+}
+
+// BenchmarkMACBroadcastLarge measures grid-indexed medium throughput at
+// 500 sparse nodes.
+func BenchmarkMACBroadcastLarge(b *testing.B) { benchLargeMedium(b, false) }
+
+// BenchmarkMACBroadcastLargeFullScan is the same roster on the
+// reference full scan — compare against BenchmarkMACBroadcastLarge to
+// see the O(neighbors) vs O(N) gap.
+func BenchmarkMACBroadcastLargeFullScan(b *testing.B) { benchLargeMedium(b, true) }
+
+// BenchmarkSweepParallel runs a reduced frugality-style sweep (16
+// independent reliability points) through the experiment worker pool at
+// NumCPU parallelism; compare with BenchmarkSweepSerial for the
+// wall-clock gain on multicore hardware.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweepSerial is the same sweep at parallelism 1.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Fig12(exp.Options{Seeds: 1, Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Tables) == 0 {
+			b.Fatal("empty sweep output")
+		}
+	}
+}
 
 // BenchmarkMobilityPosition measures trajectory queries.
 func BenchmarkMobilityPosition(b *testing.B) {

@@ -4,11 +4,17 @@
 //
 //	experiments -fig fig13              # one experiment, scaled-down
 //	experiments -fig all -full -seeds 30 # paper-scale everything (hours)
+//	experiments -parallel 8              # cap the worker pool (0 = NumCPU)
 //	experiments -list
 //
 // Scaled-down runs preserve the paper's node density and parameter shapes
 // while finishing in seconds to minutes; -full selects the paper's exact
 // environment (150 nodes on 25 km^2, 600 s warm-up, 30 seeds).
+//
+// Sweep points fan out over a worker pool (one simulation per job); a
+// netsim result is a pure function of (Scenario, Seed) and aggregation
+// happens in sweep order, so the printed tables are byte-identical at
+// any -parallel value.
 package main
 
 import (
@@ -22,11 +28,12 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment id (fig11..fig20, ablation) or 'all'")
-		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
-		seeds   = flag.Int("seeds", 0, "runs per sweep point (0 = experiment default)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "print per-point progress")
+		fig      = flag.String("fig", "all", "experiment id (fig11..fig20, ablation) or 'all'")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seeds    = flag.Int("seeds", 0, "runs per sweep point (0 = experiment default)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU); tables are byte-identical at any value")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		verbose  = flag.Bool("v", false, "print per-point progress")
 	)
 	flag.Parse()
 
@@ -37,7 +44,7 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Seeds: *seeds, Full: *full}
+	opts := exp.Options{Seeds: *seeds, Full: *full, Parallel: *parallel}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}

@@ -17,4 +17,33 @@
 //
 // The benchmarks in bench_test.go exercise one reduced-scale run per
 // paper figure; go run ./cmd/experiments regenerates the full tables.
+//
+// # Building and running
+//
+// The module is self-contained (no external dependencies):
+//
+//	go build ./...
+//	go test ./...                        # unit + reproduction tests
+//	go test -race ./...                  # includes the parallel runner
+//	go run ./cmd/experiments -list       # enumerate experiments
+//	go run ./cmd/experiments -fig fig13  # one figure, scaled down
+//	go run ./cmd/experiments -parallel 8 # cap concurrent simulations
+//
+// # Determinism contract
+//
+// A netsim.Result is a pure function of (Scenario, Seed): every run owns
+// its engine, RNG streams, mobility models and protocol instances, and
+// shares no mutable state. The experiment harness exploits this by
+// fanning each sweep's (protocol, parameters, seed) grid out over a
+// worker pool (Options.Parallel, default NumCPU) and aggregating in
+// enumeration order, so rendered tables are byte-identical at any
+// parallelism.
+//
+// The simulated medium (internal/mac) indexes node positions and live
+// transmissions in uniform spatial grids (internal/geo.Grid), so
+// per-frame receiver, carrier-sense and interference lookups cost
+// O(nodes in range) rather than O(all nodes); the index pads queries by
+// a mobility-derived staleness margin and re-checks exact distances, so
+// its deliveries are frame-for-frame identical to the full-roster
+// reference scan (mac.Config.FullScan).
 package repro

@@ -72,6 +72,9 @@ func main() {
 		}
 		defer proto.Stop()
 		n.proto = proto
+		// Start the read loop only after n.proto is assigned: the handler
+		// above closes over it.
+		udp.Start()
 		nodes[i] = n
 		fmt.Printf("node %d listening on %s\n", i, udp.LocalAddr())
 	}

@@ -33,51 +33,77 @@ func Ablations(o Options) (*Output, error) {
 		{"blind-push", func(c *netsim.CoreTuning) { c.BlindPush = true }},
 		{"fixed-heartbeat", func(c *netsim.CoreTuning) { c.DisableAdaptiveHB = true }},
 	}
+	type sample struct {
+		rel, bw, sent, dup float64
+	}
+	samples, err := runGrid(o, []int{len(variants), seeds}, func(ix []int) (sample, error) {
+		res, err := ablationRun(o, variants[ix[0]].mut, 0, int64(ix[1])+1)
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{
+			rel:  res.Reliability(),
+			bw:   res.AppBytesPerProcess(),
+			sent: res.EventsSentPerProcess(),
+			dup:  res.DuplicatesPerProcess(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable(
 		"Ablations — mechanism off vs paper design (random waypoint, 10 m/s, 80% subscribers, 5 events)",
 		"variant", "reliability", "bw/process", "events-sent", "duplicates")
-	for _, v := range variants {
+	for vi, v := range variants {
 		var rel, bw, sent, dup metrics.Agg
 		for seed := 0; seed < seeds; seed++ {
-			res, err := ablationRun(o, v.mut, 0, int64(seed)+1)
-			if err != nil {
-				return nil, err
-			}
-			rel.Add(res.Reliability())
-			bw.Add(res.AppBytesPerProcess())
-			sent.Add(res.EventsSentPerProcess())
-			dup.Add(res.DuplicatesPerProcess())
+			s := samples.At(vi, seed)
+			rel.Add(s.rel)
+			bw.Add(s.bw)
+			sent.Add(s.sent)
+			dup.Add(s.dup)
 		}
 		tb.AddRow(v.name, metrics.Pct(rel.Mean()), metrics.KB(bw.Mean()),
 			metrics.F1(sent.Mean()), metrics.F1(dup.Mean()))
 		o.progress("ablation %s -> rel=%s", v.name, metrics.Pct(rel.Mean()))
 	}
 
-	gcTable := metrics.NewTable(
-		"Ablations — event-table GC policy under memory pressure (table capacity 3, 8 events)",
-		"policy", "reliability", "evictions/process")
-	for _, pol := range []struct {
+	policies := []struct {
 		name   string
 		policy core.GCPolicy
 	}{
 		{"paper (val/(fwd+val))", core.GCPaper},
 		{"fifo", core.GCFIFO},
 		{"random", core.GCRandom},
-	} {
+	}
+	type gcSample struct {
+		rel, evict float64
+	}
+	gcSamples, err := runGrid(o, []int{len(policies), seeds}, func(ix []int) (gcSample, error) {
+		res, err := ablationRun(o, func(c *netsim.CoreTuning) {
+			c.GCPolicy = policies[ix[0]].policy
+		}, 3, int64(ix[1])+1)
+		if err != nil {
+			return gcSample{}, err
+		}
+		var ev float64
+		for _, n := range res.Nodes {
+			ev += float64(n.Proto.TableEvictions)
+		}
+		return gcSample{rel: res.Reliability(), evict: ev / float64(len(res.Nodes))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	gcTable := metrics.NewTable(
+		"Ablations — event-table GC policy under memory pressure (table capacity 3, 8 events)",
+		"policy", "reliability", "evictions/process")
+	for pi, pol := range policies {
 		var rel, evict metrics.Agg
 		for seed := 0; seed < seeds; seed++ {
-			res, err := ablationRun(o, func(c *netsim.CoreTuning) {
-				c.GCPolicy = pol.policy
-			}, 3, int64(seed)+1)
-			if err != nil {
-				return nil, err
-			}
-			rel.Add(res.Reliability())
-			var ev float64
-			for _, n := range res.Nodes {
-				ev += float64(n.Proto.TableEvictions)
-			}
-			evict.Add(ev / float64(len(res.Nodes)))
+			s := gcSamples.At(pi, seed)
+			rel.Add(s.rel)
+			evict.Add(s.evict)
 		}
 		gcTable.AddRow(pol.name, metrics.Pct(rel.Mean()), metrics.F1(evict.Mean()))
 		o.progress("gc ablation %s -> rel=%s", pol.name, metrics.Pct(rel.Mean()))

@@ -14,27 +14,39 @@ const cityValidity = 150 * time.Second
 // publishers that are not subscribers in interest sweeps. It returns the
 // overall mean reliability and the per-publisher means.
 func cityRotation(o Options, hbUpper time.Duration, frac float64, validity time.Duration, seeds int) (float64, map[int]float64, error) {
+	const pubs = 15
+	type rot struct {
+		rel        float64
+		subscribed bool
+	}
+	runs, err := runGrid(o, []int{seeds, pubs}, func(ix []int) (rot, error) {
+		seed, pub := ix[0], ix[1]
+		sc := cityScenario(hbUpper, frac, int64(seed)+1)
+		sc.Name = "city"
+		res, err := reliabilityRun(sc, pub, validity)
+		if err != nil {
+			return rot{}, err
+		}
+		return rot{rel: res.Reliability(), subscribed: res.Nodes[pub].Subscribed}, nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
 	perPub := make(map[int]*metrics.Agg)
 	var overall metrics.Agg
 	for seed := 0; seed < seeds; seed++ {
-		for pub := 0; pub < 15; pub++ {
-			sc := cityScenario(hbUpper, frac, int64(seed)+1)
-			sc.Name = "city"
-			res, err := reliabilityRun(sc, pub, validity)
-			if err != nil {
-				return 0, nil, err
-			}
-			if !res.Nodes[pub].Subscribed {
+		for pub := 0; pub < pubs; pub++ {
+			r := runs.At(seed, pub)
+			if !r.subscribed {
 				continue // interest sweeps rotate among subscribers only
 			}
-			rel := res.Reliability()
-			overall.Add(rel)
+			overall.Add(r.rel)
 			a := perPub[pub]
 			if a == nil {
 				a = &metrics.Agg{}
 				perPub[pub] = a
 			}
-			a.Add(rel)
+			a.Add(r.rel)
 		}
 	}
 	means := make(map[int]float64, len(perPub))

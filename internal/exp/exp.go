@@ -24,8 +24,14 @@ type Options struct {
 	// Full selects the paper-scale parameters; otherwise a scaled-down
 	// variant with the same node density runs.
 	Full bool
-	// Progress, when non-nil, receives one line per completed sweep
-	// point.
+	// Parallel is the number of simulations run concurrently; zero
+	// selects runtime.NumCPU(). Output is byte-identical at any
+	// parallelism (see runJobs).
+	Parallel int
+	// Progress, when non-nil, receives one liveness line as each
+	// simulation finishes (emitted from worker goroutines, serialized
+	// internally) plus one line per sweep point during aggregation, in
+	// deterministic sweep order.
 	Progress func(string)
 }
 

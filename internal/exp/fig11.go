@@ -13,6 +13,7 @@ import (
 // speeds.
 func Fig11(o Options) (*Output, error) {
 	env := rwpBase(o)
+	fracs := []float64{0.2, 0.8}
 	speeds := []float64{0, 1, 5, 10, 20, 30, 40}
 	validities := []time.Duration{
 		20 * time.Second, 60 * time.Second, 100 * time.Second,
@@ -30,8 +31,20 @@ func Fig11(o Options) (*Output, error) {
 		speeds = []float64{0, 1, 10, 30}
 	}
 
+	// Fan the (fraction, validity, speed, seed) grid out over the
+	// worker pool, then aggregate by multi-index.
+	rels, err := runGrid(o, []int{len(fracs), len(validities), len(speeds), seeds},
+		func(ix []int) (float64, error) {
+			sc := rwpScenario(env, speeds[ix[2]], speeds[ix[2]], fracs[ix[0]], int64(ix[3])+1)
+			sc.Name = "fig11"
+			return reliabilityPoint(sc, -1, validities[ix[1]])
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	out := &Output{}
-	for _, frac := range []float64{0.2, 0.8} {
+	for fi, frac := range fracs {
 		cols := []string{"validity[s]"}
 		for _, s := range speeds {
 			cols = append(cols, metrics.F1(s)+"mps")
@@ -39,18 +52,12 @@ func Fig11(o Options) (*Output, error) {
 		tb := metrics.NewTable(
 			"Fig 11 — reliability, random waypoint, "+fmtPctCol(frac)+" subscribers",
 			cols...)
-		for _, v := range validities {
+		for vi, v := range validities {
 			row := []string{fmtSeconds(v)}
-			for _, speed := range speeds {
+			for si, speed := range speeds {
 				var agg metrics.Agg
 				for seed := 0; seed < seeds; seed++ {
-					sc := rwpScenario(env, speed, speed, frac, int64(seed)+1)
-					sc.Name = "fig11"
-					rel, err := reliabilityPoint(sc, -1, v)
-					if err != nil {
-						return nil, err
-					}
-					agg.Add(rel)
+					agg.Add(rels.At(fi, vi, si, seed))
 				}
 				row = append(row, metrics.Pct(agg.Mean()))
 				o.progress("fig11 frac=%v speed=%v validity=%v -> %s",

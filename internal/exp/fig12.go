@@ -29,6 +29,16 @@ func Fig12(o Options) (*Output, error) {
 		fracs = []float64{0.2, 0.6, 1.0}
 	}
 
+	rels, err := runGrid(o, []int{len(validities), len(fracs), seeds},
+		func(ix []int) (float64, error) {
+			sc := rwpScenario(env, 1, 40, fracs[ix[1]], int64(ix[2])+1)
+			sc.Name = "fig12"
+			return reliabilityPoint(sc, -1, validities[ix[0]])
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	cols := []string{"validity[s]"}
 	for _, f := range fracs {
 		cols = append(cols, fmtPctCol(f))
@@ -36,18 +46,12 @@ func Fig12(o Options) (*Output, error) {
 	tb := metrics.NewTable(
 		"Fig 12 — reliability, heterogeneous speeds 1-40 m/s (random waypoint)",
 		cols...)
-	for _, v := range validities {
+	for vi, v := range validities {
 		row := []string{fmtSeconds(v)}
-		for _, frac := range fracs {
+		for fi, frac := range fracs {
 			var agg metrics.Agg
 			for seed := 0; seed < seeds; seed++ {
-				sc := rwpScenario(env, 1, 40, frac, int64(seed)+1)
-				sc.Name = "fig12"
-				rel, err := reliabilityPoint(sc, -1, v)
-				if err != nil {
-					return nil, err
-				}
-				agg.Add(rel)
+				agg.Add(rels.At(vi, fi, seed))
 			}
 			row = append(row, metrics.Pct(agg.Mean()))
 			o.progress("fig12 frac=%v validity=%v -> %s", frac, v, metrics.Pct(agg.Mean()))

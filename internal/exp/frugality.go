@@ -71,19 +71,36 @@ func frugalitySweep(o Options) (*frugalData, error) {
 		cells:     make(map[frugalKey]*frugalCell),
 		validity:  validity,
 	}
-	for _, proto := range protocols {
-		for _, n := range events {
-			for _, pct := range pcts {
+	type sample struct {
+		bandwidth, sent, dups, parasites float64
+	}
+	samples, err := runGrid(o, []int{len(protocols), len(events), len(pcts), seeds},
+		func(ix []int) (sample, error) {
+			res, err := frugalityRun(env, protocols[ix[0]], events[ix[1]], pcts[ix[2]],
+				validity, int64(ix[3])+1)
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{
+				bandwidth: res.AppBytesPerProcess(),
+				sent:      res.EventsSentPerProcess(),
+				dups:      res.DuplicatesPerProcess(),
+				parasites: res.ParasitesPerProcess(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, proto := range protocols {
+		for ni, n := range events {
+			for ci, pct := range pcts {
 				cell := &frugalCell{}
 				for seed := 0; seed < seeds; seed++ {
-					res, err := frugalityRun(env, proto, n, pct, validity, int64(seed)+1)
-					if err != nil {
-						return nil, err
-					}
-					cell.bandwidth.Add(res.AppBytesPerProcess())
-					cell.sent.Add(res.EventsSentPerProcess())
-					cell.dups.Add(res.DuplicatesPerProcess())
-					cell.parasites.Add(res.ParasitesPerProcess())
+					s := samples.At(pi, ni, ci, seed)
+					cell.bandwidth.Add(s.bandwidth)
+					cell.sent.Add(s.sent)
+					cell.dups.Add(s.dups)
+					cell.parasites.Add(s.parasites)
 				}
 				data.cells[frugalKey{proto, n, pct}] = cell
 				o.progress("frugality %v events=%d interest=%d%% -> bw=%s sent=%.1f dup=%.1f par=%.1f",

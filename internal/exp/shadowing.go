@@ -22,6 +22,32 @@ func ExtShadowing(o Options) (*Output, error) {
 	validities := []time.Duration{60 * time.Second, 120 * time.Second, 180 * time.Second}
 	sigmas := []float64{0, 4, 8}
 
+	rels, err := runGrid(o, []int{len(validities), len(sigmas), seeds},
+		func(ix []int) (float64, error) {
+			sigma := sigmas[ix[1]]
+			sc := rwpScenario(env, 10, 10, 0.8, int64(ix[2])+1)
+			sc.Name = "ext-shadowing"
+			if sigma > 0 {
+				params := radio.Default80211b()
+				sh := radio.Shadowing{
+					Params: params,
+					// Calibrate the threshold so the *nominal*
+					// (50%-probability) radius equals the disc's
+					// 339 m — shadowing then only spreads the
+					// boundary, keeping the comparison fair.
+					SensitivityDBm: params.ReceivedPowerDBm(paperRange),
+					SigmaDB:        sigma,
+					LimitDBm:       -111, // the paper's propagation limit
+				}
+				sc.MAC.ReceiveProb = sh.ReceiveProb
+				sc.MAC.Range = sh.MaxRange(1e-3)
+			}
+			return reliabilityPoint(sc, -1, validities[ix[0]])
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	cols := []string{"validity[s]", "disc"}
 	for _, s := range sigmas[1:] {
 		cols = append(cols, "sigma="+metrics.F1(s)+"dB")
@@ -29,33 +55,12 @@ func ExtShadowing(o Options) (*Output, error) {
 	tb := metrics.NewTable(
 		"Extension — reliability under log-normal shadowing (10 m/s, 80% subscribers)",
 		cols...)
-	for _, v := range validities {
+	for vi, v := range validities {
 		row := []string{fmtSeconds(v)}
-		for _, sigma := range sigmas {
+		for si, sigma := range sigmas {
 			var agg metrics.Agg
 			for seed := 0; seed < seeds; seed++ {
-				sc := rwpScenario(env, 10, 10, 0.8, int64(seed)+1)
-				sc.Name = "ext-shadowing"
-				if sigma > 0 {
-					params := radio.Default80211b()
-					sh := radio.Shadowing{
-						Params: params,
-						// Calibrate the threshold so the *nominal*
-						// (50%-probability) radius equals the disc's
-						// 339 m — shadowing then only spreads the
-						// boundary, keeping the comparison fair.
-						SensitivityDBm: params.ReceivedPowerDBm(paperRange),
-						SigmaDB:        sigma,
-						LimitDBm:       -111, // the paper's propagation limit
-					}
-					sc.MAC.ReceiveProb = sh.ReceiveProb
-					sc.MAC.Range = sh.MaxRange(1e-3)
-				}
-				rel, err := reliabilityPoint(sc, -1, v)
-				if err != nil {
-					return nil, err
-				}
-				agg.Add(rel)
+				agg.Add(rels.At(vi, si, seed))
 			}
 			row = append(row, metrics.Pct(agg.Mean()))
 			o.progress("shadowing sigma=%v validity=%v -> %s", sigma, v, metrics.Pct(agg.Mean()))

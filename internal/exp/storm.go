@@ -26,6 +26,24 @@ func ExtStorm(o Options) (*Output, error) {
 		netsim.Frugal, netsim.StormProbabilistic, netsim.StormCounter,
 	}
 
+	type sample struct {
+		rel, sent float64
+	}
+	samples, err := runGrid(o, []int{len(validities), len(protocols), seeds},
+		func(ix []int) (sample, error) {
+			sc := rwpScenario(env, 10, 10, 0.8, int64(ix[2])+1)
+			sc.Name = "ext-storm"
+			sc.Protocol = protocols[ix[1]]
+			res, err := reliabilityRun(sc, -1, validities[ix[0]])
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{rel: res.Reliability(), sent: res.EventsSentPerProcess()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	rel := metrics.NewTable(
 		"Extension — reliability: frugal vs broadcast-storm schemes (10 m/s, 80% subscribers)",
 		"validity[s]", "frugal", "probabilistic", "counter-based")
@@ -33,21 +51,15 @@ func ExtStorm(o Options) (*Output, error) {
 		"Extension — event copies sent per process (validity 180 s)",
 		"protocol", "copies/process")
 
-	for _, v := range validities {
+	for vi, v := range validities {
 		row := []string{fmtSeconds(v)}
-		for _, proto := range protocols {
+		for pi, proto := range protocols {
 			var agg metrics.Agg
 			var sent metrics.Agg
 			for seed := 0; seed < seeds; seed++ {
-				sc := rwpScenario(env, 10, 10, 0.8, int64(seed)+1)
-				sc.Name = "ext-storm"
-				sc.Protocol = proto
-				res, err := reliabilityRun(sc, -1, v)
-				if err != nil {
-					return nil, err
-				}
-				agg.Add(res.Reliability())
-				sent.Add(res.EventsSentPerProcess())
+				s := samples.At(vi, pi, seed)
+				agg.Add(s.rel)
+				sent.Add(s.sent)
 			}
 			row = append(row, metrics.Pct(agg.Mean()))
 			if v == validities[len(validities)-1] {

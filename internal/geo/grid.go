@@ -1,0 +1,138 @@
+package geo
+
+import "math"
+
+// Cell identifies one bucket of a Grid: the square
+// [X*size, (X+1)*size) x [Y*size, (Y+1)*size).
+type Cell struct {
+	X, Y int
+}
+
+type gridEntry struct {
+	cell Cell
+	pos  Point
+}
+
+// Grid is a uniform spatial hash: values of type T filed under the cell
+// containing their recorded position. It answers "which values were
+// recorded near p?" in time proportional to the number of nearby values
+// instead of the total population, which is what lets the MAC medium
+// scale past a few hundred nodes.
+//
+// The grid stores *recorded* positions: callers that index moving
+// objects must either re-record them as they move or pad query radii by
+// the maximum drift since recording (see mac.Config.MaxSpeed).
+//
+// Iteration order of VisitDisc is deterministic — cells in row-major
+// order, values within a cell in insertion order — so simulations built
+// on it stay reproducible. The zero Grid is not usable; call NewGrid.
+type Grid[T comparable] struct {
+	size    float64 // cell edge length, meters
+	inv     float64 // 1/size
+	buckets map[Cell][]T
+	entries map[T]gridEntry
+}
+
+// NewGrid returns an empty grid with the given cell edge length. The
+// best cell size is close to the dominant query radius: much smaller
+// wastes time on bucket overhead, much larger degenerates toward a full
+// scan. It panics on a non-positive size.
+func NewGrid[T comparable](cellSize float64) *Grid[T] {
+	if cellSize <= 0 {
+		panic("geo: non-positive grid cell size")
+	}
+	return &Grid[T]{
+		size:    cellSize,
+		inv:     1 / cellSize,
+		buckets: make(map[Cell][]T),
+		entries: make(map[T]gridEntry),
+	}
+}
+
+// CellSize returns the cell edge length.
+func (g *Grid[T]) CellSize() float64 { return g.size }
+
+// CellOf returns the cell containing p.
+func (g *Grid[T]) CellOf(p Point) Cell {
+	return Cell{
+		X: int(math.Floor(p.X * g.inv)),
+		Y: int(math.Floor(p.Y * g.inv)),
+	}
+}
+
+// Put records v at position p, moving it between buckets if it was
+// already present elsewhere.
+func (g *Grid[T]) Put(v T, p Point) {
+	c := g.CellOf(p)
+	if e, ok := g.entries[v]; ok {
+		if e.cell == c {
+			g.entries[v] = gridEntry{cell: c, pos: p}
+			return
+		}
+		g.drop(v, e.cell)
+	}
+	g.buckets[c] = append(g.buckets[c], v)
+	g.entries[v] = gridEntry{cell: c, pos: p}
+}
+
+// Remove deletes v from the grid; removing an absent value is a no-op.
+func (g *Grid[T]) Remove(v T) {
+	e, ok := g.entries[v]
+	if !ok {
+		return
+	}
+	g.drop(v, e.cell)
+	delete(g.entries, v)
+}
+
+// drop removes v from bucket c, preserving the order of the remaining
+// values (so VisitDisc stays deterministic under churn).
+func (g *Grid[T]) drop(v T, c Cell) {
+	b := g.buckets[c]
+	for i, x := range b {
+		if x == v {
+			b = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(g.buckets, c)
+	} else {
+		g.buckets[c] = b
+	}
+}
+
+// Pos returns the recorded position of v.
+func (g *Grid[T]) Pos(v T) (Point, bool) {
+	e, ok := g.entries[v]
+	return e.pos, ok
+}
+
+// Len returns the number of recorded values.
+func (g *Grid[T]) Len() int { return len(g.entries) }
+
+// Clear empties the grid, keeping its maps allocated.
+func (g *Grid[T]) Clear() {
+	clear(g.buckets)
+	clear(g.entries)
+}
+
+// VisitDisc calls fn for every value whose recorded position lies in a
+// cell intersecting the axis-aligned bounding square of the disc
+// (p, r). The visit is a superset of the disc: fn may see values up to
+// r + size*sqrt(2) away, and callers must re-check exact distances.
+// A negative radius visits nothing.
+func (g *Grid[T]) VisitDisc(p Point, r float64, fn func(v T, recorded Point)) {
+	if r < 0 {
+		return
+	}
+	lo := g.CellOf(Point{X: p.X - r, Y: p.Y - r})
+	hi := g.CellOf(Point{X: p.X + r, Y: p.Y + r})
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			for _, v := range g.buckets[Cell{X: cx, Y: cy}] {
+				fn(v, g.entries[v].pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid[int](10)
+	if g.Len() != 0 {
+		t.Fatal("new grid not empty")
+	}
+	g.Put(1, Pt(5, 5))
+	g.Put(2, Pt(25, 5))
+	g.Put(1, Pt(6, 5)) // same cell move
+	if g.Len() != 2 {
+		t.Fatalf("len = %d, want 2", g.Len())
+	}
+	if p, ok := g.Pos(1); !ok || p != Pt(6, 5) {
+		t.Fatalf("Pos(1) = %v %v", p, ok)
+	}
+	g.Put(1, Pt(95, 95)) // cross-cell move
+	var got []int
+	g.VisitDisc(Pt(90, 90), 20, func(v int, _ Point) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("visit after move = %v", got)
+	}
+	g.Remove(1)
+	g.Remove(1) // absent: no-op
+	if g.Len() != 1 {
+		t.Fatalf("len after remove = %d", g.Len())
+	}
+	g.Clear()
+	if g.Len() != 0 {
+		t.Fatal("clear left entries")
+	}
+}
+
+func TestGridNegativeCoordsAndRadius(t *testing.T) {
+	g := NewGrid[int](7)
+	g.Put(1, Pt(-3, -3))
+	g.Put(2, Pt(-20, 4))
+	var got []int
+	g.VisitDisc(Pt(0, 0), 5, func(v int, _ Point) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("visit = %v, want [1]", got)
+	}
+	got = nil
+	g.VisitDisc(Pt(0, 0), -1, func(v int, _ Point) { got = append(got, v) })
+	if got != nil {
+		t.Fatal("negative radius visited values")
+	}
+}
+
+// TestGridVisitSuperset checks the load-bearing invariant against a
+// brute-force scan: every value within r of the query point is visited,
+// under random insert/move/remove churn.
+func TestGridVisitSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGrid[int](50)
+	pos := make(map[int]Point)
+	randPt := func() Point { return Pt(rng.Float64()*1000-200, rng.Float64()*1000-200) }
+	for i := 0; i < 2000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 6 || len(pos) == 0: // insert or move
+			id := rng.Intn(300)
+			p := randPt()
+			g.Put(id, p)
+			pos[id] = p
+		case op < 8: // remove
+			for id := range pos {
+				g.Remove(id)
+				delete(pos, id)
+				break
+			}
+		default: // query
+			q, r := randPt(), rng.Float64()*300
+			visited := map[int]bool{}
+			g.VisitDisc(q, r, func(v int, rec Point) {
+				if pos[v] != rec {
+					t.Fatalf("recorded pos of %d = %v, want %v", v, rec, pos[v])
+				}
+				visited[v] = true
+			})
+			for id, p := range pos {
+				if p.Dist(q) <= r && !visited[id] {
+					t.Fatalf("value %d at %v (dist %.1f) missed by VisitDisc(%v, %.1f)",
+						id, p, p.Dist(q), q, r)
+				}
+			}
+		}
+	}
+	if g.Len() != len(pos) {
+		t.Fatalf("grid len %d != reference len %d", g.Len(), len(pos))
+	}
+}
+
+// TestGridVisitDeterministic pins the documented iteration order:
+// identical build sequences visit in identical order.
+func TestGridVisitDeterministic(t *testing.T) {
+	build := func() []int {
+		g := NewGrid[int](30)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 200; i++ {
+			g.Put(i, Pt(rng.Float64()*500, rng.Float64()*500))
+		}
+		for i := 0; i < 50; i++ {
+			g.Remove(rng.Intn(200))
+		}
+		var order []int
+		g.VisitDisc(Pt(250, 250), 200, func(v int, _ Point) { order = append(order, v) })
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("visit lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if sort.IntsAreSorted(a) && len(a) > 10 {
+		// Not a correctness requirement, just a sanity check that the
+		// order really is bucket order, not id order (which would hint
+		// the test is vacuous).
+		t.Log("note: bucket order happened to be sorted")
+	}
+}

@@ -13,6 +13,7 @@ package mac
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"repro/internal/event"
@@ -51,7 +52,36 @@ type Config struct {
 	// pruning radius — set it to the model's MaxRange. Nil keeps the
 	// deterministic unit disc.
 	ReceiveProb func(d float64) float64
+
+	// SpeedBounded, when true, promises that no attached node moves
+	// faster than MaxSpeed m/s. The medium then refreshes its spatial
+	// node index only every GridRefresh of simulated time and pads range
+	// queries by MaxSpeed*GridRefresh, making per-frame receiver lookups
+	// cost O(nodes in range) instead of O(all nodes). A MaxSpeed of 0
+	// with SpeedBounded set declares the nodes static (the index never
+	// goes stale). Without the promise the index is rebuilt whenever the
+	// clock has advanced — exact for arbitrary mobility, but O(N) per
+	// distinct transmission instant, like the old full scan.
+	// netsim derives this from the scenario's mobility model; set it
+	// yourself only when driving the medium directly.
+	SpeedBounded bool
+	// MaxSpeed is the speed bound in m/s backing SpeedBounded.
+	MaxSpeed float64
+	// GridRefresh is the node-index refresh period under SpeedBounded
+	// with a non-zero MaxSpeed; 0 selects 200 ms. Longer periods rebuild
+	// less often but widen the query margin.
+	GridRefresh time.Duration
+
+	// FullScan disables the spatial index entirely and scans the full
+	// roster for every frame — the pre-grid reference implementation.
+	// It exists for differential tests and benchmarks; the grid path is
+	// frame-for-frame identical to it.
+	FullScan bool
 }
+
+// defaultGridRefresh is the node-index refresh period when
+// Config.GridRefresh is zero.
+const defaultGridRefresh = 200 * time.Millisecond
 
 // DefaultConfig returns an 802.11b broadcast medium with the given
 // reception radius.
@@ -81,7 +111,20 @@ func (c Config) Validate() error {
 	if c.HeaderBytes < 0 || c.QueueCap < 0 || c.Preamble < 0 {
 		return fmt.Errorf("mac: negative sizes")
 	}
+	if c.MaxSpeed < 0 {
+		return fmt.Errorf("mac: negative MaxSpeed %v", c.MaxSpeed)
+	}
+	if c.GridRefresh < 0 {
+		return fmt.Errorf("mac: negative GridRefresh %v", c.GridRefresh)
+	}
 	return nil
+}
+
+func (c Config) gridRefresh() time.Duration {
+	if c.GridRefresh > 0 {
+		return c.GridRefresh
+	}
+	return defaultGridRefresh
 }
 
 func (c Config) csRange() float64 {
@@ -145,15 +188,38 @@ type Counters struct {
 // Medium is the shared broadcast channel. Attach every node before
 // running the simulation. Medium is driven entirely by the sim engine and
 // is not safe for concurrent use.
+//
+// Internally the medium keeps two spatial indexes (internal/geo.Grid):
+// node positions, refreshed per Config.SpeedBounded and queried with a
+// staleness margin to find receivers, and live-transmission origins,
+// maintained exactly, to answer carrier-sense and interference queries.
+// Both indexes are conservative supersets followed by the exact
+// distance checks of the reference full scan, so results — including
+// the RNG draw sequence of probabilistic reception — are frame-for-frame
+// identical to Config.FullScan.
 type Medium struct {
-	eng   *sim.Engine
-	cfg   Config
-	loc   Locator
-	rng   *rand.Rand
-	ports map[event.NodeID]*Port
-	order []event.NodeID // deterministic iteration order
+	eng      *sim.Engine
+	cfg      Config
+	loc      Locator
+	rng      *rand.Rand
+	ports    map[event.NodeID]*Port
+	order    []event.NodeID       // deterministic iteration order
+	orderIdx map[event.NodeID]int // id -> attach rank, to sort grid hits
 
 	live []*transmission // on-air or recently ended (pruned lazily)
+
+	// nodeGrid buckets node positions recorded at nodeGridAt; queries
+	// pad radii by margin to cover movement since then.
+	nodeGrid      *geo.Grid[event.NodeID]
+	nodeGridAt    sim.Time
+	nodeGridBuilt bool
+	staleAfter    time.Duration
+	margin        float64
+
+	// txGrid buckets live transmissions by their (fixed) origin.
+	txGrid *geo.Grid[*transmission]
+
+	scratch []event.NodeID // receiver-candidate reuse buffer
 }
 
 // New creates a medium. It panics on invalid configuration.
@@ -161,13 +227,21 @@ func New(eng *sim.Engine, cfg Config, loc Locator) *Medium {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Medium{
-		eng:   eng,
-		cfg:   cfg,
-		loc:   loc,
-		rng:   eng.NewRand(),
-		ports: make(map[event.NodeID]*Port),
+	m := &Medium{
+		eng:      eng,
+		cfg:      cfg,
+		loc:      loc,
+		rng:      eng.NewRand(),
+		ports:    make(map[event.NodeID]*Port),
+		orderIdx: make(map[event.NodeID]int),
+		nodeGrid: geo.NewGrid[event.NodeID](cfg.Range),
+		txGrid:   geo.NewGrid[*transmission](max(cfg.csRange(), cfg.ifRange())),
 	}
+	if cfg.SpeedBounded {
+		m.staleAfter = cfg.gridRefresh()
+		m.margin = cfg.MaxSpeed * m.staleAfter.Seconds()
+	}
+	return m
 }
 
 // Config returns the medium configuration.
@@ -181,7 +255,9 @@ func (m *Medium) Attach(id event.NodeID, rx func(Frame)) *Port {
 	}
 	p := &Port{m: m, id: id, rx: rx}
 	m.ports[id] = p
+	m.orderIdx[id] = len(m.order)
 	m.order = append(m.order, id)
+	m.nodeGridBuilt = false // new roster member: rebuild on next query
 	return p
 }
 
@@ -193,6 +269,9 @@ type Port struct {
 	queue   []Frame
 	sending bool
 	c       Counters
+	// recent holds this port's transmissions still tracked in
+	// Medium.live; it backs the exact half-duplex check.
+	recent []*transmission
 }
 
 // ID returns the attached node id.
@@ -250,6 +329,8 @@ func (p *Port) startTx() {
 		end:   now.Add(m.cfg.Airtime(frame.AppBytes)),
 	}
 	m.live = append(m.live, tx)
+	m.txGrid.Put(tx, tx.pos)
+	p.recent = append(p.recent, tx)
 	p.c.FramesSent++
 	p.c.AppBytesSent += uint64(frame.AppBytes)
 	p.c.MACBytesSent += uint64(frame.AppBytes + m.cfg.HeaderBytes)
@@ -260,7 +341,7 @@ func (p *Port) startTx() {
 // then continues with the queue.
 func (p *Port) finishTx(tx *transmission, frame Frame) {
 	m := p.m
-	for _, id := range m.order {
+	for _, id := range m.receivers(tx) {
 		if id == p.id {
 			continue
 		}
@@ -292,6 +373,48 @@ func (p *Port) finishTx(tx *transmission, frame Frame) {
 	}
 }
 
+// receivers returns the node ids to consider as receivers of tx, in
+// attach order. The grid path returns every node whose recorded
+// position lies within Range plus the staleness margin — a superset of
+// the true in-range set; finishTx re-checks exact current distances, so
+// delivery (and the RNG draw sequence under ReceiveProb) is identical
+// to the FullScan roster walk.
+func (m *Medium) receivers(tx *transmission) []event.NodeID {
+	if m.cfg.FullScan {
+		return m.order
+	}
+	m.ensureNodeGrid(tx.end)
+	m.scratch = m.scratch[:0]
+	m.nodeGrid.VisitDisc(tx.pos, m.cfg.Range+m.margin, func(id event.NodeID, _ geo.Point) {
+		m.scratch = append(m.scratch, id)
+	})
+	slices.SortFunc(m.scratch, func(a, b event.NodeID) int {
+		return m.orderIdx[a] - m.orderIdx[b]
+	})
+	return m.scratch
+}
+
+// ensureNodeGrid re-buckets every node's position at now unless the
+// index is still fresh: under SpeedBounded it survives for the refresh
+// period (forever when MaxSpeed is 0 — static nodes), otherwise any
+// clock advance invalidates it.
+func (m *Medium) ensureNodeGrid(now sim.Time) {
+	if m.nodeGridBuilt {
+		if m.cfg.SpeedBounded && m.cfg.MaxSpeed == 0 {
+			return
+		}
+		if now.Sub(m.nodeGridAt) <= m.staleAfter {
+			return
+		}
+	}
+	m.nodeGrid.Clear()
+	for _, id := range m.order {
+		m.nodeGrid.Put(id, m.loc.Position(id, now))
+	}
+	m.nodeGridAt = now
+	m.nodeGridBuilt = true
+}
+
 // busyUntil reports whether the channel is busy at pos as sensed by node
 // self, and until when. Transmissions starting exactly now are not
 // sensed — two nodes whose back-offs land on the same slot both fire and
@@ -299,9 +422,9 @@ func (p *Port) finishTx(tx *transmission, frame Frame) {
 func (m *Medium) busyUntil(self event.NodeID, pos geo.Point, now sim.Time) (sim.Time, bool) {
 	var until sim.Time
 	busy := false
-	for _, t := range m.live {
+	sense := func(t *transmission) {
 		if t.from == self || t.end <= now || t.start >= now {
-			continue
+			return
 		}
 		if t.pos.Dist(pos) <= m.cfg.csRange() {
 			busy = true
@@ -310,6 +433,17 @@ func (m *Medium) busyUntil(self event.NodeID, pos geo.Point, now sim.Time) (sim.
 			}
 		}
 	}
+	if m.cfg.FullScan {
+		for _, t := range m.live {
+			sense(t)
+		}
+	} else {
+		// Transmission origins are fixed, so the index is exact: no
+		// margin needed.
+		m.txGrid.VisitDisc(pos, m.cfg.csRange(), func(t *transmission, _ geo.Point) {
+			sense(t)
+		})
+	}
 	return until, busy
 }
 
@@ -317,18 +451,37 @@ func (m *Medium) busyUntil(self event.NodeID, pos geo.Point, now sim.Time) (sim.
 // fails, either because r was itself transmitting (half-duplex) or
 // because a concurrent foreign transmission interfered (hidden terminal).
 func (m *Medium) corrupted(tx *transmission, r event.NodeID, rpos geo.Point) bool {
-	for _, t := range m.live {
-		if t == tx || !t.overlaps(tx) {
-			continue
+	if m.cfg.FullScan {
+		for _, t := range m.live {
+			if t == tx || !t.overlaps(tx) {
+				continue
+			}
+			if t.from == r {
+				return true // half-duplex: r was talking
+			}
+			if t.pos.Dist(rpos) <= m.cfg.ifRange() {
+				return true // interference at the receiver
+			}
 		}
-		if t.from == r {
-			return true // half-duplex: r was talking
-		}
-		if t.pos.Dist(rpos) <= m.cfg.ifRange() {
-			return true // interference at the receiver
+		return false
+	}
+	// Half-duplex: r's own overlapping transmissions, wherever they
+	// started (the full scan does not distance-filter this case).
+	for _, t := range m.ports[r].recent {
+		if t.overlaps(tx) {
+			return true
 		}
 	}
-	return false
+	corr := false
+	m.txGrid.VisitDisc(rpos, m.cfg.ifRange(), func(t *transmission, _ geo.Point) {
+		if corr || t == tx || t.from == r || !t.overlaps(tx) {
+			return
+		}
+		if t.pos.Dist(rpos) <= m.cfg.ifRange() {
+			corr = true // interference at the receiver
+		}
+	})
+	return corr
 }
 
 // prune drops transmissions that can no longer overlap anything on air.
@@ -339,10 +492,23 @@ func (m *Medium) prune() {
 	for _, t := range m.live {
 		if t.end+keep > now {
 			kept = append(kept, t)
+		} else {
+			m.txGrid.Remove(t)
+			m.ports[t.from].dropRecent(t)
 		}
 	}
 	for i := len(kept); i < len(m.live); i++ {
 		m.live[i] = nil
 	}
 	m.live = kept
+}
+
+// dropRecent removes t from the port's half-duplex history.
+func (p *Port) dropRecent(t *transmission) {
+	for i, x := range p.recent {
+		if x == t {
+			p.recent = append(p.recent[:i], p.recent[i+1:]...)
+			return
+		}
+	}
 }

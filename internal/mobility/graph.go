@@ -73,6 +73,22 @@ func (g *Graph) AddStreet(a, b int, speedLimit, weight float64) error {
 	return g.AddRoad(b, a, speedLimit, weight)
 }
 
+// MaxSpeedLimit returns the fastest speed limit of any road (0 for a
+// graph with no roads). City-section nodes drive at the road's limit,
+// so this bounds node speed — the MAC medium uses it to size its
+// spatial-index staleness margin.
+func (g *Graph) MaxSpeedLimit() float64 {
+	var maxLimit float64
+	for _, roads := range g.adj {
+		for _, r := range roads {
+			if r.SpeedLimit > maxLimit {
+				maxLimit = r.SpeedLimit
+			}
+		}
+	}
+	return maxLimit
+}
+
 // Popularity returns the sum of weights of roads incident to i (in either
 // direction); used to bias destination choice toward busy spots.
 func (g *Graph) Popularity(i int) float64 {

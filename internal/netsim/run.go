@@ -111,6 +111,9 @@ type runner struct {
 	sc    Scenario
 	eng   *sim.Engine
 	nodes []*node
+	// graph is the street network shared by every city-section node of
+	// this run (built once instead of per node).
+	graph *mobility.Graph
 
 	deliveries map[event.ID]map[event.NodeID]sim.Time
 	records    []DeliveryRecord
@@ -147,6 +150,12 @@ func (r *runner) build() error {
 	for i := range r.nodes {
 		r.nodes[i] = &node{id: event.NodeID(i)}
 	}
+	if sc.Mobility.Kind == CitySection {
+		r.graph = sc.Mobility.Graph
+		if r.graph == nil {
+			r.graph = mobility.NewCampusGraph()
+		}
+	}
 	// Mobility first: models draw from the engine RNG in node order.
 	for i, n := range r.nodes {
 		if sc.CustomModels != nil && sc.CustomModels[i] != nil {
@@ -159,7 +168,7 @@ func (r *runner) build() error {
 		}
 		n.model = model
 	}
-	medium := mac.New(r.eng, sc.MAC, locator{nodes: r.nodes})
+	medium := mac.New(r.eng, r.macConfig(), locator{nodes: r.nodes})
 	for _, n := range r.nodes {
 		n := n
 		n.port = medium.Attach(n.id, func(f mac.Frame) {
@@ -221,12 +230,8 @@ func (r *runner) buildMobility() (mobility.Model, error) {
 		}
 		return mobility.NewWaypoint(cfg, rng), nil
 	case CitySection:
-		g := m.Graph
-		if g == nil {
-			g = mobility.NewCampusGraph()
-		}
 		cfg := mobility.CityConfig{
-			Graph:     g,
+			Graph:     r.graph,
 			StopProb:  m.StopProb,
 			StopMin:   m.StopMin,
 			StopMax:   m.StopMax,
@@ -239,6 +244,27 @@ func (r *runner) buildMobility() (mobility.Model, error) {
 	default:
 		return nil, fmt.Errorf("netsim: unknown mobility kind %d", m.Kind)
 	}
+}
+
+// macConfig returns the scenario's MAC config with a node-speed bound
+// derived from the mobility model, enabling the medium's cached spatial
+// index (see mac.Config.SpeedBounded). Custom models stay conservative:
+// their speeds are unknown, so the medium re-buckets per instant.
+// A caller-supplied bound is left untouched.
+func (r *runner) macConfig() mac.Config {
+	cfg := r.sc.MAC
+	if cfg.SpeedBounded || r.sc.CustomModels != nil {
+		return cfg
+	}
+	switch r.sc.Mobility.Kind {
+	case StaticNodes:
+		cfg.SpeedBounded = true // MaxSpeed 0: nodes never move
+	case RandomWaypoint:
+		cfg.SpeedBounded, cfg.MaxSpeed = true, r.sc.Mobility.MaxSpeed
+	case CitySection:
+		cfg.SpeedBounded, cfg.MaxSpeed = true, r.graph.MaxSpeedLimit()
+	}
+	return cfg
 }
 
 func (r *runner) buildProtocol(n *node) (disseminator, error) {

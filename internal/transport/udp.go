@@ -32,6 +32,12 @@ type UDPConfig struct {
 	// Handler receives every decoded incoming message. It is called
 	// from the transport's read goroutine, so pass core.Safe's
 	// HandleMessage (or synchronize yourself). Required.
+	//
+	// The handler is never invoked before Start is called: NewUDP only
+	// binds the socket, so the caller can finish wiring the state the
+	// handler closes over (typically the protocol instance) and then
+	// Start the read loop. Datagrams arriving before Start queue in the
+	// kernel buffer and are handed to the handler once Start runs.
 	Handler func(event.Message)
 	// OnError, when non-nil, receives decode and I/O errors. Transient
 	// errors never stop the read loop.
@@ -57,13 +63,18 @@ type UDP struct {
 
 	sent, received, decodeErrs, sendErrs atomic.Uint64
 
+	startOnce sync.Once
 	closeOnce sync.Once
 	done      chan struct{}
 	wg        sync.WaitGroup
 }
 
-// NewUDP binds the listen address, resolves the peer group and starts
-// the read loop.
+// NewUDP binds the listen address and resolves the peer group. The read
+// loop does NOT run yet: call Start once the handler's dependencies are
+// wired. Splitting construction from startup is what makes the handler
+// contract race-free — with a constructor-started loop, a datagram could
+// reach the handler before the caller had assigned the protocol instance
+// the handler closes over.
 func NewUDP(cfg UDPConfig) (*UDP, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("transport: nil Handler")
@@ -84,9 +95,28 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 			return nil, err
 		}
 	}
-	u.wg.Add(1)
-	go u.readLoop()
 	return u, nil
+}
+
+// Start launches the read loop; incoming datagrams are decoded and
+// handed to the configured Handler from here on. It is idempotent,
+// safe to race with Close, and must be called before any message can
+// be received; broadcasts work without it.
+func (u *UDP) Start() {
+	u.startOnce.Do(func() {
+		// The mutex orders this against Close: after close(done) no
+		// loop may start (Close's wg.Wait must not race an Add), and if
+		// the loop starts first, Close's conn.Close/done will stop it.
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		select {
+		case <-u.done:
+			return // already closed: nothing to start
+		default:
+		}
+		u.wg.Add(1)
+		go u.readLoop()
+	})
 }
 
 // LocalAddr returns the bound address (useful with ":0" listens).
@@ -141,11 +171,14 @@ func (u *UDP) Stats() Stats {
 	}
 }
 
-// Close stops the read loop and releases the socket. It is idempotent.
+// Close stops the read loop (if started) and releases the socket. It
+// is idempotent and safe to race with Start.
 func (u *UDP) Close() error {
 	var err error
 	u.closeOnce.Do(func() {
+		u.mu.Lock()
 		close(u.done)
+		u.mu.Unlock()
 		err = u.conn.Close()
 		u.wg.Wait()
 	})

@@ -59,6 +59,8 @@ func newPair(t *testing.T) (*UDP, *UDP, *collect, *collect) {
 	if err := b.AddPeer(a.LocalAddr().String()); err != nil {
 		t.Fatal(err)
 	}
+	a.Start()
+	b.Start()
 	return a, b, &ca, &cb
 }
 
@@ -88,6 +90,7 @@ func TestUDPSelfPeerFiltered(t *testing.T) {
 		t.Skipf("UDP unavailable: %v", err)
 	}
 	defer u.Close()
+	u.Start()
 	if err := u.AddPeer(u.LocalAddr().String()); err != nil {
 		t.Fatal(err)
 	}
@@ -128,6 +131,7 @@ func TestUDPDecodeErrorsCounted(t *testing.T) {
 		t.Skipf("UDP unavailable: %v", err)
 	}
 	defer u.Close()
+	u.Start()
 	// Throw garbage at the socket.
 	peer, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
 	if err != nil {
@@ -154,6 +158,7 @@ func TestUDPCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Skipf("UDP unavailable: %v", err)
 	}
+	u.Start()
 	if err := u.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +166,65 @@ func TestUDPCloseIdempotent(t *testing.T) {
 		t.Fatal("second Close errored")
 	}
 	u.Broadcast(event.Heartbeat{From: 1}) // must not panic after close
+	u.Start()                             // must not leak a goroutine on a closed socket
+}
+
+// TestUDPStartCloseRace drives Start and Close concurrently: either
+// the loop never starts (Close won) or it starts and Close stops it —
+// but Close must never return with the loop still coming up, and the
+// WaitGroup Add/Wait ordering must hold under the race detector.
+func TestUDPStartCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
+		if err != nil {
+			t.Skipf("UDP unavailable: %v", err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); u.Start() }()
+		go func() { defer wg.Done(); u.Close() }()
+		wg.Wait()
+		if err := u.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUDPCloseWithoutStart(t *testing.T) {
+	u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDPStartGatesHandler pins the constructor/Start split: no handler
+// invocation may happen before Start, so callers can wire state the
+// handler reads after NewUDP returns (the data race this split fixes).
+func TestUDPStartGatesHandler(t *testing.T) {
+	var c collect
+	u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: c.handle})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	sender, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if err := sender.AddPeer(u.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	sender.Broadcast(event.Heartbeat{From: 9})
+	time.Sleep(50 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("handler invoked before Start")
+	}
+	u.Start()
+	waitFor(t, func() bool { return c.count() == 1 }, "queued datagram after Start")
 }
 
 func TestUDPConfigValidation(t *testing.T) {
@@ -224,6 +288,8 @@ func TestUDPEndToEnd(t *testing.T) {
 		}
 		t.Cleanup(proto.Stop)
 		n.proto = proto
+		// Only now that n.proto is wired may the read loop run.
+		udp.Start()
 		nodes[i] = n
 	}
 	// Full mesh.

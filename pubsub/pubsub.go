@@ -21,7 +21,6 @@ package pubsub
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -110,28 +109,15 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 
 // NewUDPNode builds a node with the built-in UDP peer-group transport:
 // it binds listen and broadcasts to peers (the roster may include the
-// local address; it is filtered out).
-//
-// The read loop starts before the protocol exists, so the handler goes
-// through a guarded reference; datagrams arriving during construction
-// are dropped (the node has not subscribed to anything yet).
+// local address; it is filtered out). The transport's read loop is
+// started only after the protocol instance is wired, so no datagram can
+// reach a half-constructed node.
 func NewUDPNode(cfg Config, listen string, peers []string) (*Node, error) {
 	n := &Node{clock: &wallClock{start: time.Now()}}
-	var ref struct {
-		mu   sync.RWMutex
-		safe *core.Safe
-	}
 	udp, err := transport.NewUDP(transport.UDPConfig{
-		Listen: listen,
-		Peers:  peers,
-		Handler: func(m Message) {
-			ref.mu.RLock()
-			safe := ref.safe
-			ref.mu.RUnlock()
-			if safe != nil {
-				_ = safe.HandleMessage(m)
-			}
-		},
+		Listen:  listen,
+		Peers:   peers,
+		Handler: func(m Message) { _ = n.safe.HandleMessage(m) },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: %w", err)
@@ -141,11 +127,9 @@ func NewUDPNode(cfg Config, listen string, peers []string) (*Node, error) {
 		udp.Close()
 		return nil, fmt.Errorf("pubsub: %w", err)
 	}
-	ref.mu.Lock()
-	ref.safe = safe
-	ref.mu.Unlock()
 	n.safe = safe
 	n.udp = udp
+	udp.Start()
 	return n, nil
 }
 
