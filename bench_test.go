@@ -421,6 +421,22 @@ func BenchmarkMACBroadcastLarge(b *testing.B) { benchLargeMedium(b, false) }
 // see the O(neighbors) vs O(N) gap.
 func BenchmarkMACBroadcastLargeFullScan(b *testing.B) { benchLargeMedium(b, true) }
 
+// BenchmarkScenarioSweep runs one reduced pass of the registry-backed
+// scenarios family: the manhattan urban-VANET environment swept across
+// the frugal protocol and the baselines (the CI smoke for the scenario
+// registry).
+func BenchmarkScenarioSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.ScenarioSweep("manhattan", exp.Options{Seeds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Tables) != 1 {
+			b.Fatal("empty scenario sweep output")
+		}
+	}
+}
+
 // BenchmarkSweepParallel runs a reduced frugality-style sweep (16
 // independent reliability points) through the experiment worker pool at
 // NumCPU parallelism; compare with BenchmarkSweepSerial for the

@@ -1,9 +1,11 @@
-// Command experiments regenerates the paper's figures and tables.
+// Command experiments regenerates the paper's figures and tables and
+// runs the registry-backed scenario sweeps.
 //
 // Usage:
 //
-//	experiments -fig fig13              # one experiment, scaled-down
+//	experiments -fig fig13               # one experiment, scaled-down
 //	experiments -fig all -full -seeds 30 # paper-scale everything (hours)
+//	experiments -scenario manhattan      # frugal vs baselines, one scenario
 //	experiments -parallel 8              # cap the worker pool (0 = NumCPU)
 //	experiments -list
 //
@@ -15,33 +17,99 @@
 // netsim result is a pure function of (Scenario, Seed) and aggregation
 // happens in sweep order, so the printed tables are byte-identical at
 // any -parallel value.
+//
+// # Experiment catalog (-fig)
+//
+// One experiment per figure/table of the paper's evaluation, plus
+// ablations and extensions:
+//
+//	fig11..fig12   reliability on random waypoint (speeds, subscribers)
+//	fig13..fig16   reliability on the city section (heartbeat bound,
+//	               subscribers, publisher spread, validity)
+//	fig17..fig20   frugality: bandwidth, copies, duplicates, parasites
+//	ablation       design-choice ablations (back-off, suppression, id
+//	               exchange, GC, adaptive heartbeat)
+//	ext-shadowing  reliability under log-normal shadowing
+//	ext-storm      frugal vs broadcast-storm schemes (Ni et al.)
+//	scenarios      frugal vs baselines across every registered scenario
+//
+// # Scenario catalog (-scenario)
+//
+// Scenarios are full declarative workloads registered with
+// netsim.RegisterScenario; -scenario <name> sweeps one of them across
+// the frugal protocol and the flooding/storm baselines. Each sweep
+// finishes in about a second at the default 3 seeds. The built-ins:
+//
+//	campus           the paper's city section: 15 nodes on the synthetic
+//	                 campus street grid, one 150 s event, frugal tuning
+//	                 from Section 5.2
+//	waypoint         the paper's random waypoint at reduced scale: 40
+//	                 nodes at 10 m/s on 6.7 km^2 (6 nodes/km^2), 80%
+//	                 subscribers, one 120 s event
+//	manhattan        urban VANET: 40 vehicles on a 990x770 m Manhattan
+//	                 grid with a deterministic city-wide traffic-light
+//	                 schedule and avenue/side-street speed tiers, a
+//	                 3-event burst of 120 s events, 100 m urban radio
+//	                 range
+//	manhattan-churn  manhattan plus churn: two vehicles crash mid-window
+//	                 and one recovers with empty tables
+//	highway          highway convoy: 32 vehicles in 4 platoon speed
+//	                 tiers (24-32 m/s) on a 3.5 km bidirectional
+//	                 corridor with on/off-ramps, two 90 s events
+//
+// The -list output is generated from the same registries the flags
+// consult, so it cannot drift from what actually runs (a test enforces
+// this).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/netsim"
 )
+
+// listing renders the -list output from the experiment and scenario
+// registries. Tests assert it covers both registries exactly.
+func listing() string {
+	var b strings.Builder
+	b.WriteString("experiments (-fig):\n")
+	for _, d := range exp.All() {
+		fmt.Fprintf(&b, "  %-15s %s\n", d.ID, d.Title)
+	}
+	b.WriteString("\nscenarios (-scenario, frugal vs baselines):\n")
+	for _, d := range netsim.Scenarios() {
+		fmt.Fprintf(&b, "  %-15s %s (default sweep %s)\n", d.Name, d.Description, d.Runtime)
+	}
+	return b.String()
+}
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "experiment id (fig11..fig20, ablation) or 'all'")
+		fig      = flag.String("fig", "", "experiment id (fig11..fig20, ablation, ext-*, scenarios) or 'all'")
+		scenario = flag.String("scenario", "", "registered scenario to sweep against the baselines (see -list)")
 		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seeds    = flag.Int("seeds", 0, "runs per sweep point (0 = experiment default)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU); tables are byte-identical at any value")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		list     = flag.Bool("list", false, "list experiments and scenarios, then exit")
 		verbose  = flag.Bool("v", false, "print per-point progress")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, d := range exp.All() {
-			fmt.Printf("%-10s %s\n", d.ID, d.Title)
-		}
+		fmt.Print(listing())
 		return
+	}
+	if *fig != "" && *scenario != "" {
+		fmt.Fprintln(os.Stderr, "use either -fig or -scenario, not both")
+		os.Exit(2)
+	}
+	if *fig == "" && *scenario == "" {
+		*fig = "all"
 	}
 
 	opts := exp.Options{Seeds: *seeds, Full: *full, Parallel: *parallel}
@@ -50,12 +118,24 @@ func main() {
 	}
 
 	var defs []exp.Definition
-	if *fig == "all" {
+	switch {
+	case *scenario != "":
+		if _, ok := netsim.LookupScenario(*scenario); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; registered scenarios:\n\n%s", *scenario, listing())
+			os.Exit(2)
+		}
+		name := *scenario
+		defs = []exp.Definition{{
+			ID:    "scenario-" + name,
+			Title: "frugal vs baselines on scenario " + name,
+			Run:   func(o exp.Options) (*exp.Output, error) { return exp.ScenarioSweep(name, o) },
+		}}
+	case *fig == "all":
 		defs = exp.All()
-	} else {
+	default:
 		d, ok := exp.Lookup(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid ids:\n\n%s", *fig, listing())
 			os.Exit(2)
 		}
 		defs = []exp.Definition{d}

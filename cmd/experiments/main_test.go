@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/netsim"
+)
+
+// TestListingMatchesRegistries pins the -list contract: the listing is
+// generated from the experiment and scenario registries, so every
+// registered id/name appears exactly once and nothing else does — no
+// silently unreachable scenarios, no stale catalog lines.
+func TestListingMatchesRegistries(t *testing.T) {
+	out := listing()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var ids []string
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "  ") {
+			continue // section headers
+		}
+		fields := strings.Fields(l)
+		if len(fields) == 0 {
+			t.Fatalf("blank catalog line in listing:\n%s", out)
+		}
+		ids = append(ids, fields[0])
+	}
+	var want []string
+	for _, d := range exp.All() {
+		want = append(want, d.ID)
+	}
+	want = append(want, netsim.ScenarioNames()...)
+	if len(ids) != len(want) {
+		t.Fatalf("listing has %d entries, registries have %d:\n%s", len(ids), len(want), out)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("listing entry %d = %q, want %q (registry order)", i, ids[i], want[i])
+		}
+	}
+}
+
+// TestScenarioListingRunnable double-checks the other direction: every
+// name the listing advertises resolves through the same lookups the
+// flags use.
+func TestScenarioListingRunnable(t *testing.T) {
+	for _, d := range exp.All() {
+		if _, ok := exp.Lookup(d.ID); !ok {
+			t.Fatalf("listed experiment %q not resolvable", d.ID)
+		}
+	}
+	for _, name := range netsim.ScenarioNames() {
+		if _, ok := netsim.LookupScenario(name); !ok {
+			t.Fatalf("listed scenario %q not resolvable", name)
+		}
+	}
+}

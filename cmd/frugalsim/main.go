@@ -2,12 +2,20 @@
 // measurements: reliability, per-process traffic, duplicates and
 // parasites.
 //
+// Scenarios come in two flavors: ad-hoc ones assembled from flags, and
+// registered ones from the netsim scenario registry (the same catalog
+// cmd/experiments -list enumerates).
+//
 // Examples:
 //
 //	frugalsim -nodes 50 -mobility rwp -speed 10 -subscribers 0.8 \
 //	          -events 3 -validity 120s
 //	frugalsim -mobility city -nodes 15 -range 44 -protocol frugal
+//	frugalsim -mobility manhattan -nodes 40 -range 100
+//	frugalsim -mobility highway -nodes 32 -range 250
 //	frugalsim -protocol simple-flooding -events 5
+//	frugalsim -scenario manhattan -seed 3        # registered scenario
+//	frugalsim -scenario highway -protocol counter-based-broadcast
 package main
 
 import (
@@ -25,10 +33,12 @@ import (
 
 func main() {
 	var (
+		scenario = flag.String("scenario", "",
+			"registered scenario name (overrides the ad-hoc flags; see 'experiments -list')")
 		protocol = flag.String("protocol", "frugal",
-			"frugal | simple-flooding | interests-aware-flooding | neighbors-interests-flooding")
+			"frugal | simple-flooding | interests-aware-flooding | neighbors-interests-flooding | probabilistic-broadcast | counter-based-broadcast")
 		nodes     = flag.Int("nodes", 50, "number of processes")
-		mobility  = flag.String("mobility", "rwp", "rwp | city | static")
+		mobility  = flag.String("mobility", "rwp", "rwp | city | manhattan | highway | static")
 		side      = flag.Float64("side", 2887, "square area side in meters (rwp/static)")
 		speedMin  = flag.Float64("speed-min", 0, "min speed m/s (rwp; 0 = same as -speed)")
 		speed     = flag.Float64("speed", 10, "max speed m/s (rwp)")
@@ -43,72 +53,106 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print per-event coverage over time")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	sc := netsim.Scenario{
-		Name:  "frugalsim",
-		Nodes: *nodes,
-		Seed:  *seed,
-		MAC:   mac.DefaultConfig(*radio),
-		Core: netsim.CoreTuning{
-			HBUpperBound: *hbUpper,
-			UseSpeed:     true,
-		},
-		SubscriberFraction: *subs,
-		Warmup:             *warmup,
-		Measure:            *validity + 5*time.Second,
-	}
-
-	switch *mobility {
-	case "rwp":
-		lo := *speedMin
-		if lo == 0 {
-			lo = *speed
-		}
-		sc.Mobility = netsim.MobilitySpec{
-			Kind:     netsim.RandomWaypoint,
-			Area:     geo.NewRect(*side, *side),
-			MinSpeed: lo,
-			MaxSpeed: *speed,
-			Pause:    time.Second,
-		}
-	case "static":
-		sc.Mobility = netsim.MobilitySpec{
-			Kind: netsim.StaticNodes,
-			Area: geo.NewRect(*side, *side),
-		}
-	case "city":
-		sc.Mobility = netsim.MobilitySpec{
-			Kind:      netsim.CitySection,
-			StopProb:  0.3,
-			StopMin:   2 * time.Second,
-			StopMax:   10 * time.Second,
-			DestPause: 5 * time.Second,
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mobility %q\n", *mobility)
-		os.Exit(2)
-	}
-
-	switch *protocol {
-	case "frugal":
-		sc.Protocol = netsim.Frugal
-	case "simple-flooding":
-		sc.Protocol = netsim.FloodSimple
-	case "interests-aware-flooding":
-		sc.Protocol = netsim.FloodInterest
-	case "neighbors-interests-flooding":
-		sc.Protocol = netsim.FloodNeighbors
-	default:
+	proto, ok := netsim.ParseProtocol(*protocol)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
 		os.Exit(2)
 	}
 
-	for i := 0; i < *events; i++ {
-		sc.Publications = append(sc.Publications, netsim.Publication{
-			Offset:    time.Duration(i) * 500 * time.Millisecond,
-			Publisher: -1,
-			Validity:  *validity,
-		})
+	var sc netsim.Scenario
+	if *scenario != "" {
+		// The template fixes the environment and workload; only the
+		// protocol under test, the seed and the output flags remain
+		// meaningful. Reject the rest instead of silently ignoring it.
+		compatible := map[string]bool{
+			"scenario": true, "protocol": true, "seed": true,
+			"trace": true, "timeline": true,
+		}
+		for name := range explicit {
+			if !compatible[name] {
+				fmt.Fprintf(os.Stderr,
+					"-%s has no effect with -scenario (the registered template fixes it); drop the flag or build an ad-hoc scenario without -scenario\n",
+					name)
+				os.Exit(2)
+			}
+		}
+		def, ok := netsim.LookupScenario(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; registered scenarios:\n", *scenario)
+			for _, d := range netsim.Scenarios() {
+				fmt.Fprintf(os.Stderr, "  %-15s %s\n", d.Name, d.Description)
+			}
+			os.Exit(2)
+		}
+		sc = def.Instantiate(*seed)
+		if explicit["protocol"] {
+			sc.Protocol = proto
+		}
+	} else {
+		sc = netsim.Scenario{
+			Name:     "frugalsim",
+			Nodes:    *nodes,
+			Seed:     *seed,
+			Protocol: proto,
+			MAC:      mac.DefaultConfig(*radio),
+			Core: netsim.CoreTuning{
+				HBUpperBound: *hbUpper,
+				UseSpeed:     true,
+			},
+			SubscriberFraction: *subs,
+			Warmup:             *warmup,
+			Measure:            *validity + 5*time.Second,
+		}
+		switch *mobility {
+		case "rwp":
+			lo := *speedMin
+			if lo == 0 {
+				lo = *speed
+			}
+			sc.Mobility = netsim.MobilitySpec{
+				Kind:     netsim.RandomWaypoint,
+				Area:     geo.NewRect(*side, *side),
+				MinSpeed: lo,
+				MaxSpeed: *speed,
+				Pause:    time.Second,
+			}
+		case "static":
+			sc.Mobility = netsim.MobilitySpec{
+				Kind: netsim.StaticNodes,
+				Area: geo.NewRect(*side, *side),
+			}
+		case "city":
+			sc.Mobility = netsim.MobilitySpec{
+				Kind:      netsim.CitySection,
+				StopProb:  0.3,
+				StopMin:   2 * time.Second,
+				StopMax:   10 * time.Second,
+				DestPause: 5 * time.Second,
+			}
+		case "manhattan":
+			sc.Mobility = netsim.MobilitySpec{
+				Kind:        netsim.ManhattanGrid,
+				LightCycle:  30 * time.Second,
+				RedFraction: 0.4,
+				DestPause:   10 * time.Second,
+			}
+		case "highway":
+			// Zero platoon/cruise fields select netsim's convoy defaults.
+			sc.Mobility = netsim.MobilitySpec{Kind: netsim.HighwayConvoy}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mobility %q\n", *mobility)
+			os.Exit(2)
+		}
+		for i := 0; i < *events; i++ {
+			sc.Publications = append(sc.Publications, netsim.Publication{
+				Offset:    time.Duration(i) * 500 * time.Millisecond,
+				Publisher: -1,
+				Validity:  *validity,
+			})
+		}
 	}
 	if *showTrace > 0 {
 		sc.Trace = trace.New(*showTrace)
@@ -121,8 +165,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("scenario: %d nodes, %s mobility, %s, %.0f%% subscribers, %d event(s), validity %v\n",
-		*nodes, *mobility, *protocol, *subs*100, *events, *validity)
+	fmt.Printf("scenario: %s — %d nodes, %v mobility, %v, %.0f%% subscribers, %d event(s)\n",
+		sc.Name, sc.Nodes, sc.Mobility.Kind, sc.Protocol,
+		sc.SubscriberFraction*100, len(sc.Publications))
 	fmt.Printf("simulated %v (wall %v)\n\n", sc.Warmup+sc.Measure, time.Since(start).Round(time.Millisecond))
 
 	tb := metrics.NewTable("per-process averages over the measurement window",

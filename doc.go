@@ -11,9 +11,13 @@
 //   - internal/core — the frugal protocol (the paper's contribution)
 //   - internal/sim, geo, topic, event, radio, mobility, mac — substrates
 //   - internal/flood — the three flooding baselines of Section 5.2
-//   - internal/netsim, metrics, exp — scenario runner and experiments
+//   - internal/netsim, metrics, exp — scenario runner, scenario
+//     registry and experiments
 //   - cmd/experiments, cmd/frugalsim — command-line tools
 //   - examples/ — quickstart, carpark, campus, inprocess
+//
+// ARCHITECTURE.md maps the paper's sections onto these packages and
+// sketches the dataflow of one simulation.
 //
 // The benchmarks in bench_test.go exercise one reduced-scale run per
 // paper figure; go run ./cmd/experiments regenerates the full tables.
@@ -25,9 +29,44 @@
 //	go build ./...
 //	go test ./...                        # unit + reproduction tests
 //	go test -race ./...                  # includes the parallel runner
-//	go run ./cmd/experiments -list       # enumerate experiments
+//	go run ./cmd/experiments -list       # enumerate experiments + scenarios
 //	go run ./cmd/experiments -fig fig13  # one figure, scaled down
+//	go run ./cmd/experiments -scenario manhattan # one registered scenario
 //	go run ./cmd/experiments -parallel 8 # cap concurrent simulations
+//
+// # Scenario registry
+//
+// Beyond the paper's figures, whole workloads are defined declaratively:
+// a netsim.ScenarioDef bundles mobility model, node count, radio range,
+// protocol tuning, publication schedule, optional crash/churn events and
+// measurement windows under a name (netsim.RegisterScenario). Registered
+// scenarios are swept against the flooding/storm baselines by the exp
+// package's "scenarios" experiment family and are addressable from both
+// CLIs (experiments -scenario, frugalsim -scenario). The built-in
+// catalog:
+//
+//	campus           the paper's 15-node city section on the synthetic
+//	                 campus street grid, one 150 s event
+//	waypoint         the paper's random waypoint at reduced scale: 40
+//	                 nodes, 10 m/s, 80% subscribers, one 120 s event
+//	manhattan        urban VANET: 40 vehicles on a Manhattan street grid
+//	                 with a deterministic city-wide traffic-light
+//	                 schedule (staggered phases, no green wave) and
+//	                 avenue/side-street speed tiers, a burst of three
+//	                 120 s events
+//	manhattan-churn  manhattan plus mid-window crashes and one recovery
+//	highway          highway convoy: 32 vehicles in four platoon speed
+//	                 tiers on a 3.5 km bidirectional corridor with
+//	                 on/off-ramps, two 90 s events
+//
+// Every catalog entry is swept against frugal, simple flooding,
+// interests-aware flooding and counter-based broadcast; a default-scale
+// sweep (3 seeds x 4 protocols) finishes in under a second.
+//
+// The vehicular environments are backed by two mobility models layered
+// on the street-graph machinery (mobility.Manhattan, mobility.Highway);
+// both satisfy the same determinism, continuity and speed-bound
+// contracts as the paper's models (see the internal/mobility godoc).
 //
 // # Determinism contract
 //

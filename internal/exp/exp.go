@@ -1,8 +1,10 @@
 // Package exp defines one experiment per figure/table of the paper's
-// evaluation (Section 5) plus the ablations called out in DESIGN.md.
-// Every experiment runs at two scales: the paper's parameters
-// (Options.Full) and a CI-friendly reduction that preserves node density
-// and parameter shapes.
+// evaluation (Section 5), the ablations called out in DESIGN.md, and
+// the registry-backed "scenarios" family that sweeps every
+// netsim.RegisterScenario workload against the flooding/storm
+// baselines. Every experiment runs at two scales: the paper's
+// parameters (Options.Full) and a CI-friendly reduction that preserves
+// node density and parameter shapes.
 package exp
 
 import (
@@ -89,6 +91,7 @@ func All() []Definition {
 		{"ablation", "Design-choice ablations (back-off, suppression, id exchange, GC, adaptive HB)", Ablations},
 		{"ext-shadowing", "Extension: reliability under log-normal shadowing", ExtShadowing},
 		{"ext-storm", "Extension: frugal vs broadcast-storm schemes (Ni et al.)", ExtStorm},
+		{"scenarios", "Extension: frugal vs baselines across every registered scenario (see -scenario)", Scenarios},
 	}
 }
 

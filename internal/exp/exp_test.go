@@ -11,8 +11,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 13 {
-		t.Fatalf("registry has %d entries, want 13 (fig11..fig20 + ablation + extensions)", len(defs))
+	if len(defs) != 14 {
+		t.Fatalf("registry has %d entries, want 14 (fig11..fig20 + ablation + extensions + scenarios)", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {

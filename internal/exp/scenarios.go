@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// scenarioProtocols is the protocol panel every registered scenario is
+// swept against: the frugal protocol, the two strongest flooding
+// baselines, and a broadcast-storm scheme.
+var scenarioProtocols = []netsim.ProtocolKind{
+	netsim.Frugal,
+	netsim.FloodSimple,
+	netsim.FloodInterest,
+	netsim.StormCounter,
+}
+
+// Scenarios is the registry-backed experiment family: every scenario
+// registered with netsim.RegisterScenario — the paper's environments
+// plus the vehicular (VANET-style) extensions — is swept across the
+// frugal protocol and the flooding/storm baselines, one table per
+// scenario. The family iterates the registry itself, so a newly
+// registered workload shows up here (and in cmd/experiments -list)
+// with no further wiring.
+func Scenarios(o Options) (*Output, error) {
+	var tables []*metrics.Table
+	for _, def := range netsim.Scenarios() {
+		out, err := scenarioSweep(def, o)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, out.Tables...)
+	}
+	return &Output{Tables: tables}, nil
+}
+
+// ScenarioSweep runs the frugal-vs-baselines comparison for one
+// registered scenario (cmd/experiments -scenario).
+func ScenarioSweep(name string, o Options) (*Output, error) {
+	def, ok := netsim.LookupScenario(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown scenario %q (registered: %s)",
+			name, strings.Join(netsim.ScenarioNames(), ", "))
+	}
+	return scenarioSweep(def, o)
+}
+
+// scenarioSweep fans (protocol, seed) over the worker pool and renders
+// one table: per-protocol reliability, event copies sent, duplicates
+// and bandwidth, averaged over seeds. Like every sweep it aggregates in
+// enumeration order, so output is byte-identical at any parallelism.
+func scenarioSweep(def netsim.ScenarioDef, o Options) (*Output, error) {
+	seeds := o.seedCount(3)
+	if o.Full {
+		seeds = o.seedCount(30)
+	}
+	type sample struct {
+		rel, sent, dups, bytes float64
+	}
+	samples, err := runGrid(o, []int{len(scenarioProtocols), seeds},
+		func(ix []int) (sample, error) {
+			sc := def.Instantiate(int64(ix[1]) + 1)
+			sc.Protocol = scenarioProtocols[ix[0]]
+			res, err := netsim.Run(sc)
+			if err != nil {
+				return sample{}, fmt.Errorf("scenario %s, %v: %w", def.Name, sc.Protocol, err)
+			}
+			return sample{
+				rel:   res.Reliability(),
+				sent:  res.EventsSentPerProcess(),
+				dups:  res.DuplicatesPerProcess(),
+				bytes: res.AppBytesPerProcess(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Scenario %s — %s (%d seeds)", def.Name, def.Description, seeds),
+		"protocol", "reliability", "copies/proc", "dups/proc", "bandwidth")
+	for pi, proto := range scenarioProtocols {
+		var rel, sent, dups, bytes metrics.Agg
+		for seed := 0; seed < seeds; seed++ {
+			s := samples.At(pi, seed)
+			rel.Add(s.rel)
+			sent.Add(s.sent)
+			dups.Add(s.dups)
+			bytes.Add(s.bytes)
+		}
+		tb.AddRow(proto.String(), metrics.Pct(rel.Mean()),
+			metrics.F1(sent.Mean()), metrics.F1(dups.Mean()), metrics.KB(bytes.Mean()))
+		o.progress("scenario %s %v -> %s", def.Name, proto, metrics.Pct(rel.Mean()))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestScenarioSweepParallelismInvariance asserts the acceptance
+// criterion for the registry-backed sweeps: -scenario manhattan/highway
+// tables are byte-identical at any parallelism.
+func TestScenarioSweepParallelismInvariance(t *testing.T) {
+	for _, name := range []string{"manhattan", "highway"} {
+		run := func(parallel int) string {
+			out, err := ScenarioSweep(name, Options{Seeds: 1, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out.String()
+		}
+		serial := run(1)
+		parallel := run(8)
+		if serial != parallel {
+			t.Fatalf("%s tables differ across parallelism:\n--- parallel=1\n%s\n--- parallel=8\n%s",
+				name, serial, parallel)
+		}
+		if !strings.Contains(serial, "frugal") || !strings.Contains(serial, "counter-based-broadcast") {
+			t.Fatalf("%s table missing protocol rows:\n%s", name, serial)
+		}
+	}
+}
+
+// TestScenariosFamilyCoversRegistry runs the whole family once and
+// checks it produces one table per registered scenario, in registry
+// order — no scenario can be silently skipped.
+func TestScenariosFamilyCoversRegistry(t *testing.T) {
+	defs := netsim.Scenarios()
+	out, err := Scenarios(Options{Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != len(defs) {
+		t.Fatalf("family produced %d tables for %d registered scenarios",
+			len(out.Tables), len(defs))
+	}
+	rendered := out.String()
+	for _, d := range defs {
+		if !strings.Contains(rendered, "Scenario "+d.Name+" ") {
+			t.Fatalf("no table for registered scenario %q", d.Name)
+		}
+	}
+}
+
+func TestScenarioSweepUnknownName(t *testing.T) {
+	_, err := ScenarioSweep("no-such-scenario", Options{Seeds: 1})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	// The error must name the valid choices (the CLI prints it as-is).
+	if !strings.Contains(err.Error(), "manhattan") || !strings.Contains(err.Error(), "highway") {
+		t.Fatalf("error does not list registered scenarios: %v", err)
+	}
+}

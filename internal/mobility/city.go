@@ -49,12 +49,8 @@ func (c CityConfig) Validate() error {
 // intersections, following the paper's description of traffic rules and
 // hot-spot roads.
 type City struct {
-	cfg  CityConfig
-	rng  *rand.Rand
-	traj trajectory
-	at   int // intersection where the trajectory currently ends
-
-	cumPop []float64 // cumulative intersection popularity for weighted draws
+	graphTraveler
+	cfg CityConfig
 }
 
 var _ Model = (*City)(nil)
@@ -65,86 +61,29 @@ func NewCity(cfg CityConfig, rng *rand.Rand) *City {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &City{cfg: cfg, rng: rng}
-	g := cfg.Graph
-	c.cumPop = make([]float64, g.Intersections())
-	sum := 0.0
-	for i := 0; i < g.Intersections(); i++ {
-		sum += g.Popularity(i)
-		c.cumPop[i] = sum
-	}
-	c.at = c.weightedIntersection()
-	p := g.Point(c.at)
-	c.traj.append(leg{from: p, to: p})
+	c := &City{cfg: cfg}
+	c.graphTraveler = newGraphTraveler(cfg.Graph, rng, c.addTrip)
+	c.startAt(c.weightedIntersection())
 	return c
 }
 
 // Start returns the intersection the node began at (useful for tests).
 func (c *City) Start() geo.Point { return c.traj.legs[0].from }
 
-func (c *City) weightedIntersection() int {
-	total := c.cumPop[len(c.cumPop)-1]
-	x := c.rng.Float64() * total
-	for i, cum := range c.cumPop {
-		if x < cum {
-			return i
-		}
-	}
-	return len(c.cumPop) - 1
-}
-
-func (c *City) extend(at sim.Time) {
-	for c.traj.covered() <= at {
-		c.addTrip()
-	}
-}
-
 // addTrip appends the legs of one trip (possibly with red-light pauses)
 // to the trajectory.
 func (c *City) addTrip() {
-	g := c.cfg.Graph
-	dest := c.weightedIntersection()
-	for dest == c.at {
-		dest = c.weightedIntersection()
-	}
-	path, err := g.ShortestPath(c.at, dest)
-	if err != nil {
-		// Validate() guarantees reachability; this is unreachable but
-		// kept defensive: dwell in place to guarantee progress.
-		last := c.traj.legs[len(c.traj.legs)-1]
-		c.traj.append(leg{
-			start: last.end, moveEnd: last.end, end: last.end + sim.Second,
-			from: last.to, to: last.to,
+	c.drive(c.pickDest(),
+		func(r Road) float64 { return r.SpeedLimit },
+		func(_ int, _ sim.Time, final bool) time.Duration {
+			if final {
+				return c.cfg.DestPause
+			}
+			if c.rng.Float64() < c.cfg.StopProb {
+				return c.stopTime()
+			}
+			return 0
 		})
-		return
-	}
-	start := c.traj.covered()
-	pos := g.Point(c.at)
-	for i := 1; i < len(path); i++ {
-		r, ok := g.road(path[i-1], path[i])
-		if !ok {
-			continue
-		}
-		to := g.Point(path[i])
-		moveEnd := start + sim.Seconds(r.Length/r.SpeedLimit)
-		end := moveEnd
-		if i < len(path)-1 && c.rng.Float64() < c.cfg.StopProb {
-			end = moveEnd.Add(c.stopTime())
-		}
-		if i == len(path)-1 {
-			end = moveEnd.Add(c.cfg.DestPause)
-		}
-		if end == start {
-			end = start + 1
-		}
-		c.traj.append(leg{
-			start: start, moveEnd: moveEnd, end: end,
-			from: pos, to: to, speed: r.SpeedLimit,
-		})
-		pos = to
-		start = end
-	}
-	c.at = dest
 }
 
 func (c *City) stopTime() time.Duration {
@@ -152,16 +91,4 @@ func (c *City) stopTime() time.Duration {
 		return c.cfg.StopMin
 	}
 	return c.cfg.StopMin + time.Duration(c.rng.Int63n(int64(c.cfg.StopMax-c.cfg.StopMin)))
-}
-
-// Position implements Model.
-func (c *City) Position(at sim.Time) geo.Point {
-	c.extend(at)
-	return c.traj.find(at).position(at)
-}
-
-// Speed implements Model.
-func (c *City) Speed(at sim.Time) float64 {
-	c.extend(at)
-	return c.traj.find(at).speedAt(at)
 }

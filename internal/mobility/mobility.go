@@ -1,11 +1,48 @@
-// Package mobility implements the two mobility models used by the paper's
-// evaluation: random waypoint (Johnson & Maltz) and city section (Davies),
-// plus a trivial static model.
+// Package mobility implements the mobility models the simulator drives
+// nodes with: the paper's random waypoint (Johnson & Maltz) and city
+// section (Davies), a trivial static model, and two vehicular
+// (VANET-style) extensions — a Manhattan street grid with a
+// deterministic city-wide traffic-light schedule and a highway corridor
+// with on/off-ramps and platoon speed tiers. The graph-constrained models (City, Manhattan, Highway)
+// share the Graph street-network machinery and the graphTraveler trip
+// driver; new vehicular models should build on the same pieces.
 //
 // Models are trajectory-based: each node lazily extends a piecewise-linear
 // trajectory (legs of constant velocity, including zero-velocity pauses)
 // and answers position/speed queries for any instant analytically. Nothing
 // ticks; the simulator asks for positions only when transmissions happen.
+//
+// # The Model contract
+//
+// Every implementation of Model must satisfy three properties that the
+// rest of the system leans on:
+//
+//   - Determinism. A model is a pure function of its construction
+//     inputs (config + the *rand.Rand handed to the constructor):
+//     querying the same instants in any order, or re-running with the
+//     same seed, yields identical positions and speeds. This is what
+//     makes a netsim.Result a pure function of (Scenario, Seed) and
+//     lets experiment sweeps fan out over worker pools with
+//     byte-identical output (see ROADMAP.md, "Determinism contract").
+//     Models may memoize (all trajectory-based models do) but must not
+//     read ambient state, and they are not safe for concurrent use —
+//     every simulated node owns its own instance.
+//
+//   - Continuity. Position must be continuous in time: no teleports.
+//     Contract tests assert |Position(t+dt) - Position(t)| <= vmax*dt.
+//
+//   - A knowable speed bound. The MAC medium (internal/mac) indexes
+//     node positions in a spatial grid refreshed every
+//     mac.Config.GridRefresh; range queries are padded by a staleness
+//     margin of MaxSpeed*GridRefresh, so lookups stay exact only if no
+//     node ever exceeds the declared MaxSpeed. netsim derives that
+//     bound automatically: Graph.MaxSpeedLimit() for the
+//     graph-constrained models (which never drive above a road's
+//     limit), MobilitySpec.MaxSpeed for random waypoint, zero for
+//     static nodes. A new model must either keep its speeds under a
+//     bound netsim can derive the same way, or leave
+//     mac.Config.SpeedBounded unset and accept per-instant index
+//     rebuilds.
 package mobility
 
 import (

@@ -62,6 +62,20 @@ func (k ProtocolKind) String() string {
 	}
 }
 
+// ParseProtocol is the inverse of ProtocolKind.String. Keep this next
+// to the const block: a new kind needs exactly these two entries.
+func ParseProtocol(s string) (ProtocolKind, bool) {
+	for _, k := range []ProtocolKind{
+		Frugal, FloodSimple, FloodInterest, FloodNeighbors,
+		StormProbabilistic, StormCounter,
+	} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // MobilityKind selects the mobility model.
 type MobilityKind int
 
@@ -72,7 +86,31 @@ const (
 	RandomWaypoint
 	// CitySection drives nodes on a street graph.
 	CitySection
+	// ManhattanGrid drives vehicles on a dense urban street grid with
+	// a deterministic city-wide traffic-light schedule (VANET-style).
+	ManhattanGrid
+	// HighwayConvoy drives vehicles on a highway corridor with
+	// on/off-ramps and platoon speed tiers (VANET-style).
+	HighwayConvoy
 )
+
+// String implements fmt.Stringer.
+func (k MobilityKind) String() string {
+	switch k {
+	case StaticNodes:
+		return "static"
+	case RandomWaypoint:
+		return "random-waypoint"
+	case CitySection:
+		return "city-section"
+	case ManhattanGrid:
+		return "manhattan-grid"
+	case HighwayConvoy:
+		return "highway-convoy"
+	default:
+		return fmt.Sprintf("mobility(%d)", int(k))
+	}
+}
 
 // MobilitySpec declares per-node mobility.
 type MobilitySpec struct {
@@ -85,13 +123,74 @@ type MobilitySpec struct {
 	// Pause is the random-waypoint dwell time (paper: 1 s).
 	Pause time.Duration
 
-	// Graph is the street network for CitySection (nil selects the
-	// synthetic campus).
+	// Graph is the street network for the graph-constrained kinds;
+	// nil selects the kind's default builder (the synthetic campus for
+	// CitySection, mobility.NewManhattanGraph for ManhattanGrid,
+	// mobility.NewHighwayGraph for HighwayConvoy).
 	Graph *mobility.Graph
-	// StopProb, StopMin, StopMax, DestPause configure city pauses.
+	// StopProb, StopMin, StopMax configure CitySection's stochastic
+	// intersection stops.
 	StopProb         float64
 	StopMin, StopMax time.Duration
-	DestPause        time.Duration
+	// DestPause is the dwell at reached destinations (CitySection and
+	// ManhattanGrid).
+	DestPause time.Duration
+
+	// LightCycle and RedFraction configure ManhattanGrid's city-wide
+	// traffic-light schedule (zero cycle disables lights).
+	LightCycle  time.Duration
+	RedFraction float64
+
+	// Platoons, CruiseMin, CruiseMax and RampPause configure
+	// HighwayConvoy; zero values select the defaults (4 platoons
+	// cruising 24-32 m/s, 5 s ramp pause).
+	Platoons             int
+	CruiseMin, CruiseMax float64
+	RampPause            time.Duration
+}
+
+// validateGraphKind checks the graph-constrained kinds' model fields up
+// front, so a bad scenario (notably a registered template) fails at
+// Validate time rather than inside the first Run. The mobility configs
+// re-validate at build; this mirrors their cheap field checks.
+func (m MobilitySpec) validateGraphKind() error {
+	if m.Graph != nil {
+		if err := m.Graph.Validate(); err != nil {
+			return err
+		}
+	}
+	if m.DestPause < 0 {
+		return errors.New("netsim: negative DestPause")
+	}
+	switch m.Kind {
+	case CitySection:
+		if m.StopProb < 0 || m.StopProb > 1 {
+			return fmt.Errorf("netsim: StopProb %v out of [0,1]", m.StopProb)
+		}
+		if m.StopMin < 0 || m.StopMax < m.StopMin {
+			return fmt.Errorf("netsim: bad stop range [%v,%v]", m.StopMin, m.StopMax)
+		}
+	case ManhattanGrid:
+		if m.LightCycle < 0 {
+			return fmt.Errorf("netsim: negative LightCycle %v", m.LightCycle)
+		}
+		if m.RedFraction < 0 || m.RedFraction > 1 {
+			return fmt.Errorf("netsim: RedFraction %v out of [0,1]", m.RedFraction)
+		}
+	case HighwayConvoy:
+		// withDefaults has filled the zero values by the time Run
+		// validates, so these are the effective convoy parameters.
+		if m.Platoons < 0 {
+			return fmt.Errorf("netsim: negative Platoons %d", m.Platoons)
+		}
+		if m.CruiseMin < 0 || m.CruiseMax < m.CruiseMin {
+			return fmt.Errorf("netsim: bad cruise range [%v,%v]", m.CruiseMin, m.CruiseMax)
+		}
+		if m.RampPause < 0 {
+			return errors.New("netsim: negative RampPause")
+		}
+	}
+	return nil
 }
 
 // CoreTuning carries the frugal protocol's tuning knobs (zero = paper
@@ -227,6 +326,23 @@ func (s Scenario) withDefaults() Scenario {
 	if s.FloodPeriod == 0 {
 		s.FloodPeriod = time.Second
 	}
+	if s.Mobility.Kind == HighwayConvoy {
+		// Filled here (not in the runner) so Validate sees the effective
+		// convoy values — a partially specified cruise range fails at
+		// Validate time, not inside the first Run.
+		if s.Mobility.Platoons == 0 {
+			s.Mobility.Platoons = 4
+		}
+		if s.Mobility.CruiseMin == 0 {
+			s.Mobility.CruiseMin = 24
+		}
+		if s.Mobility.CruiseMax == 0 {
+			s.Mobility.CruiseMax = 32
+		}
+		if s.Mobility.RampPause == 0 {
+			s.Mobility.RampPause = 5 * time.Second
+		}
+	}
 	return s
 }
 
@@ -252,8 +368,11 @@ func (s Scenario) Validate() error {
 		if s.Mobility.Area.Width() <= 0 || s.Mobility.Area.Height() <= 0 {
 			return errors.New("netsim: empty mobility area")
 		}
-	case CitySection:
-		// Graph nil is fine (campus default).
+	case CitySection, ManhattanGrid, HighwayConvoy:
+		// Graph nil is fine (each kind has a default builder).
+		if err := s.Mobility.validateGraphKind(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("netsim: unknown mobility kind %d", s.Mobility.Kind)
 	}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ScenarioDef is a named, declaratively registered scenario: a complete
+// Scenario template (mobility model, node count, protocol, publication
+// workload, crash/churn schedule, warm-up and measurement windows) that
+// Instantiate stamps with a per-run seed. Registering a definition makes
+// it reachable from the experiment harness (exp's "scenarios" family),
+// cmd/experiments (-scenario, -list) and cmd/frugalsim — adding a new
+// workload is one RegisterScenario call plus a catalog doc entry, not a
+// bespoke sweep file.
+type ScenarioDef struct {
+	// Name is the registry key (e.g. "manhattan").
+	Name string
+	// Description is a one-line summary of environment and workload.
+	Description string
+	// Runtime is the expected wall-clock of one frugal-vs-baselines
+	// sweep at default scale (human-readable, for the catalog).
+	Runtime string
+	// Template is the full scenario; its Seed field is ignored.
+	Template Scenario
+}
+
+// Instantiate returns a runnable copy of the template for the given
+// seed. The scenario's Name defaults to the registry name.
+func (d ScenarioDef) Instantiate(seed int64) Scenario {
+	sc := d.Template
+	sc.Seed = seed
+	if sc.Name == "" {
+		sc.Name = d.Name
+	}
+	return sc
+}
+
+var scenarioRegistry = struct {
+	mu   sync.RWMutex
+	defs map[string]ScenarioDef
+}{defs: make(map[string]ScenarioDef)}
+
+// RegisterScenario adds a definition to the registry. It panics on a
+// duplicate name or an invalid template (registration happens at init
+// time; a broken definition should fail loudly, not at first use).
+func RegisterScenario(d ScenarioDef) {
+	if d.Name == "" || d.Description == "" {
+		panic(fmt.Sprintf("netsim: scenario %q registered without name or description", d.Name))
+	}
+	if err := d.Instantiate(1).withDefaults().Validate(); err != nil {
+		panic(fmt.Sprintf("netsim: scenario %q template invalid: %v", d.Name, err))
+	}
+	scenarioRegistry.mu.Lock()
+	defer scenarioRegistry.mu.Unlock()
+	if _, dup := scenarioRegistry.defs[d.Name]; dup {
+		panic(fmt.Sprintf("netsim: scenario %q registered twice", d.Name))
+	}
+	scenarioRegistry.defs[d.Name] = d
+}
+
+// Scenarios returns every registered definition, sorted by name.
+func Scenarios() []ScenarioDef {
+	scenarioRegistry.mu.RLock()
+	defer scenarioRegistry.mu.RUnlock()
+	out := make([]ScenarioDef, 0, len(scenarioRegistry.defs))
+	for _, d := range scenarioRegistry.defs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioNames returns the sorted registered names.
+func ScenarioNames() []string {
+	defs := Scenarios()
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// LookupScenario finds a definition by name.
+func LookupScenario(name string) (ScenarioDef, bool) {
+	scenarioRegistry.mu.RLock()
+	defer scenarioRegistry.mu.RUnlock()
+	d, ok := scenarioRegistry.defs[name]
+	return d, ok
+}

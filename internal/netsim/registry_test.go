@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// TestScenarioRegistryRoundTrip is the registry's core guarantee: every
+// registered name constructs a runnable Scenario that validates, runs,
+// and actually disseminates.
+func TestScenarioRegistryRoundTrip(t *testing.T) {
+	defs := Scenarios()
+	if len(defs) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	for _, d := range defs {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			if d.Description == "" || d.Runtime == "" {
+				t.Fatalf("catalog metadata incomplete: %+v", d)
+			}
+			sc := d.Instantiate(1)
+			if sc.Seed != 1 {
+				t.Fatalf("Instantiate seed = %d", sc.Seed)
+			}
+			if sc.Name == "" {
+				t.Fatal("instantiated scenario has no name")
+			}
+			if err := sc.withDefaults().Validate(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Published) != len(sc.Publications) {
+				t.Fatalf("published %d of %d scheduled events",
+					len(res.Published), len(sc.Publications))
+			}
+			if res.Reliability() <= 0 {
+				t.Fatalf("scenario %s delivered nothing", d.Name)
+			}
+		})
+	}
+}
+
+func TestScenarioRegistryLookup(t *testing.T) {
+	for _, name := range []string{"campus", "waypoint", "manhattan", "manhattan-churn", "highway"} {
+		if _, ok := LookupScenario(name); !ok {
+			t.Fatalf("built-in scenario %q not registered", name)
+		}
+	}
+	if _, ok := LookupScenario("nope"); ok {
+		t.Fatal("LookupScenario(nope) succeeded")
+	}
+	names := ScenarioNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ScenarioNames not sorted: %v", names)
+	}
+	if len(names) != len(Scenarios()) {
+		t.Fatal("ScenarioNames and Scenarios disagree")
+	}
+}
+
+func TestRegisterScenarioRejectsBadDefs(t *testing.T) {
+	mustPanic := func(name string, d ScenarioDef) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: RegisterScenario did not panic", name)
+			}
+		}()
+		RegisterScenario(d)
+	}
+	valid := Scenario{
+		Nodes:    3,
+		Mobility: MobilitySpec{Kind: StaticNodes, Area: geo.NewRect(100, 100)},
+		MAC:      mac.DefaultConfig(339),
+		Measure:  time.Second,
+	}
+	mustPanic("duplicate", ScenarioDef{Name: "campus", Description: "dup", Runtime: "-", Template: valid})
+	mustPanic("unnamed", ScenarioDef{Description: "x", Template: valid})
+	invalid := valid
+	invalid.Nodes = 0
+	mustPanic("invalid template", ScenarioDef{Name: "broken", Description: "x", Template: invalid})
+	// Mobility-model fields are validated at registration too, not at
+	// first Run.
+	badLights := valid
+	badLights.Mobility = MobilitySpec{Kind: ManhattanGrid, RedFraction: 1.5}
+	mustPanic("bad red fraction", ScenarioDef{Name: "broken-lights", Description: "x", Template: badLights})
+	badCruise := valid
+	badCruise.Mobility = MobilitySpec{Kind: HighwayConvoy, CruiseMin: 30, CruiseMax: 20}
+	mustPanic("bad cruise range", ScenarioDef{Name: "broken-cruise", Description: "x", Template: badCruise})
+}
+
+func TestParseProtocolRoundTrip(t *testing.T) {
+	kinds := []ProtocolKind{
+		Frugal, FloodSimple, FloodInterest, FloodNeighbors,
+		StormProbabilistic, StormCounter,
+	}
+	for _, k := range kinds {
+		got, ok := ParseProtocol(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseProtocol("nope"); ok {
+		t.Fatal("ParseProtocol(nope) succeeded")
+	}
+}
+
+// TestManhattanAndHighwaySpeedBounds pins the MAC staleness contract for
+// the new kinds: the derived speed bound must cover every node's actual
+// speed over a run (the grid's correctness precondition).
+func TestManhattanAndHighwaySpeedBounds(t *testing.T) {
+	for _, name := range []string{"manhattan", "highway"} {
+		def, ok := LookupScenario(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		sc := def.Instantiate(3)
+		r := &runner{
+			sc:         sc.withDefaults(),
+			eng:        sim.New(sc.Seed),
+			deliveries: make(map[event.ID]map[event.NodeID]sim.Time),
+		}
+		if err := r.build(); err != nil {
+			t.Fatal(err)
+		}
+		cfg := r.macConfig()
+		if !cfg.SpeedBounded || cfg.MaxSpeed <= 0 {
+			t.Fatalf("%s: no speed bound derived (%+v)", name, cfg)
+		}
+		for i, n := range r.nodes[:4] {
+			for s := 0.0; s < 300; s += 1.7 {
+				if v := n.model.Speed(sim.Seconds(s)); v > cfg.MaxSpeed+1e-9 {
+					t.Fatalf("%s node %d at %v m/s exceeds bound %v", name, i, v, cfg.MaxSpeed)
+				}
+			}
+		}
+	}
+}

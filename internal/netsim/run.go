@@ -150,10 +150,10 @@ func (r *runner) build() error {
 	for i := range r.nodes {
 		r.nodes[i] = &node{id: event.NodeID(i)}
 	}
-	if sc.Mobility.Kind == CitySection {
+	if builder := defaultGraph[sc.Mobility.Kind]; builder != nil {
 		r.graph = sc.Mobility.Graph
 		if r.graph == nil {
-			r.graph = mobility.NewCampusGraph()
+			r.graph = builder()
 		}
 	}
 	// Mobility first: models draw from the engine RNG in node order.
@@ -208,6 +208,15 @@ func (r *runner) build() error {
 	return nil
 }
 
+// defaultGraph maps each graph-constrained mobility kind to its default
+// street-network builder (used when MobilitySpec.Graph is nil). The
+// graph is built once per run and shared by every node.
+var defaultGraph = map[MobilityKind]func() *mobility.Graph{
+	CitySection:   mobility.NewCampusGraph,
+	ManhattanGrid: mobility.NewManhattanGraph,
+	HighwayConvoy: mobility.NewHighwayGraph,
+}
+
 func (r *runner) buildMobility() (mobility.Model, error) {
 	m := r.sc.Mobility
 	rng := r.eng.NewRand()
@@ -241,6 +250,30 @@ func (r *runner) buildMobility() (mobility.Model, error) {
 			return nil, err
 		}
 		return mobility.NewCity(cfg, rng), nil
+	case ManhattanGrid:
+		cfg := mobility.ManhattanConfig{
+			Graph:       r.graph,
+			LightCycle:  m.LightCycle,
+			RedFraction: m.RedFraction,
+			DestPause:   m.DestPause,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return mobility.NewManhattan(cfg, rng), nil
+	case HighwayConvoy:
+		// Convoy defaults were filled by Scenario.withDefaults.
+		cfg := mobility.HighwayConfig{
+			Graph:     r.graph,
+			Platoons:  m.Platoons,
+			CruiseMin: m.CruiseMin,
+			CruiseMax: m.CruiseMax,
+			RampPause: m.RampPause,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return mobility.NewHighway(cfg, rng), nil
 	default:
 		return nil, fmt.Errorf("netsim: unknown mobility kind %d", m.Kind)
 	}
@@ -261,7 +294,8 @@ func (r *runner) macConfig() mac.Config {
 		cfg.SpeedBounded = true // MaxSpeed 0: nodes never move
 	case RandomWaypoint:
 		cfg.SpeedBounded, cfg.MaxSpeed = true, r.sc.Mobility.MaxSpeed
-	case CitySection:
+	case CitySection, ManhattanGrid, HighwayConvoy:
+		// Graph-constrained vehicles never drive above a road's limit.
 		cfg.SpeedBounded, cfg.MaxSpeed = true, r.graph.MaxSpeedLimit()
 	}
 	return cfg

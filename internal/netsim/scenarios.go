@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mac"
+)
+
+// Built-in scenario definitions. Each is a complete declarative
+// workload: environment, node count, radio range, protocol tuning,
+// publication schedule, optional churn, and measurement windows. They
+// are enumerated by `cmd/experiments -list` and swept (frugal vs the
+// flooding/storm baselines) by the exp package's "scenarios" family;
+// keep the catalog sections of doc.go and cmd/experiments in sync when
+// adding one (a cmd/experiments test cross-checks the listing).
+func init() {
+	RegisterScenario(ScenarioDef{
+		Name:        "campus",
+		Description: "paper's city section: 15 nodes on the synthetic campus grid, one 150 s event",
+		Runtime:     "<1 s",
+		Template: Scenario{
+			Nodes: 15,
+			Mobility: MobilitySpec{
+				Kind:      CitySection,
+				StopProb:  0.3,
+				StopMin:   2 * time.Second,
+				StopMax:   10 * time.Second,
+				DestPause: 5 * time.Second,
+			},
+			MAC:                mac.DefaultConfig(44),
+			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			SubscriberFraction: 1.0,
+			Publications: []Publication{
+				{Publisher: -1, Validity: 150 * time.Second},
+			},
+			Warmup:  30 * time.Second,
+			Measure: 155 * time.Second,
+		},
+	})
+	RegisterScenario(ScenarioDef{
+		Name:        "waypoint",
+		Description: "paper's random waypoint at reduced scale: 40 nodes, 10 m/s, 80% subscribers, one 120 s event",
+		Runtime:     "<1 s",
+		Template: Scenario{
+			Nodes: 40,
+			Mobility: MobilitySpec{
+				Kind:     RandomWaypoint,
+				Area:     geo.NewRect(2582, 2582), // the paper's 6 nodes/km^2
+				MinSpeed: 10,
+				MaxSpeed: 10,
+				Pause:    time.Second,
+			},
+			MAC:                mac.DefaultConfig(339),
+			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			SubscriberFraction: 0.8,
+			Publications: []Publication{
+				{Publisher: -1, Validity: 120 * time.Second},
+			},
+			Warmup:  30 * time.Second,
+			Measure: 125 * time.Second,
+		},
+	})
+	RegisterScenario(ScenarioDef{
+		Name:        "manhattan",
+		Description: "urban VANET: 40 vehicles on a 990x770 m Manhattan grid with traffic lights, a 3-event burst",
+		Runtime:     "<1 s",
+		Template: Scenario{
+			Nodes: 40,
+			Mobility: MobilitySpec{
+				Kind:        ManhattanGrid,
+				LightCycle:  30 * time.Second,
+				RedFraction: 0.4,
+				DestPause:   10 * time.Second,
+			},
+			MAC:                mac.DefaultConfig(100),
+			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			SubscriberFraction: 0.8,
+			Publications: []Publication{
+				{Offset: 0, Publisher: -1, Validity: 120 * time.Second},
+				{Offset: 2 * time.Second, Publisher: -1, Validity: 120 * time.Second},
+				{Offset: 4 * time.Second, Publisher: -1, Validity: 120 * time.Second},
+			},
+			Warmup:  30 * time.Second,
+			Measure: 130 * time.Second,
+		},
+	})
+	RegisterScenario(ScenarioDef{
+		Name:        "manhattan-churn",
+		Description: "manhattan with churn: two vehicles crash mid-window, one recovers with empty state",
+		Runtime:     "<1 s",
+		Template: Scenario{
+			Nodes: 40,
+			Mobility: MobilitySpec{
+				Kind:        ManhattanGrid,
+				LightCycle:  30 * time.Second,
+				RedFraction: 0.4,
+				DestPause:   10 * time.Second,
+			},
+			MAC:                mac.DefaultConfig(100),
+			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			SubscriberFraction: 0.8,
+			Publications: []Publication{
+				{Offset: 0, Publisher: -1, Validity: 120 * time.Second},
+				{Offset: 3 * time.Second, Publisher: -1, Validity: 120 * time.Second},
+			},
+			Crashes: []Crash{
+				{Node: 3, At: 50 * time.Second, RecoverAt: 90 * time.Second},
+				{Node: 7, At: 70 * time.Second},
+			},
+			Warmup:  30 * time.Second,
+			Measure: 130 * time.Second,
+		},
+	})
+	RegisterScenario(ScenarioDef{
+		Name:        "highway",
+		Description: "highway convoy: 32 vehicles in 4 platoons on a 3.5 km bidirectional corridor, two 90 s events",
+		Runtime:     "<1 s",
+		Template: Scenario{
+			Nodes: 32,
+			Mobility: MobilitySpec{
+				Kind:      HighwayConvoy,
+				Platoons:  4,
+				CruiseMin: 24,
+				CruiseMax: 32,
+				RampPause: 5 * time.Second,
+			},
+			MAC:                mac.DefaultConfig(250),
+			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			SubscriberFraction: 0.9,
+			Publications: []Publication{
+				{Offset: 0, Publisher: -1, Validity: 90 * time.Second},
+				{Offset: 3 * time.Second, Publisher: -1, Validity: 90 * time.Second},
+			},
+			Warmup:  20 * time.Second,
+			Measure: 95 * time.Second,
+		},
+	})
+}
