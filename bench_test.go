@@ -19,6 +19,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topic"
@@ -43,7 +44,7 @@ func rwpScenario(b *testing.B, speedMin, speedMax, frac float64, seed int64) net
 			Pause:    time.Second,
 		},
 		MAC:                mac.DefaultConfig(339),
-		Core:               netsim.CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+		Protocol:           netsim.FrugalSpec(netsim.CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 		SubscriberFraction: frac,
 		Warmup:             20 * time.Second,
 	}
@@ -61,7 +62,7 @@ func cityScenario(seed int64, hbUpper time.Duration, frac float64) netsim.Scenar
 			DestPause: 5 * time.Second,
 		},
 		MAC:                mac.DefaultConfig(44),
-		Core:               netsim.CoreTuning{HBUpperBound: hbUpper, UseSpeed: true},
+		Protocol:           netsim.FrugalSpec(netsim.CoreTuning{HBUpperBound: hbUpper, UseSpeed: true}),
 		SubscriberFraction: frac,
 		Warmup:             20 * time.Second,
 	}
@@ -150,10 +151,12 @@ func BenchmarkFig16Validity(b *testing.B) {
 }
 
 // frugalityRun executes one reduced frugality cell (Figures 17-20).
-func frugalityRun(b *testing.B, proto netsim.ProtocolKind, events int, frac float64, seed int64) *netsim.Result {
+func frugalityRun(b *testing.B, proto string, events int, frac float64, seed int64) *netsim.Result {
 	b.Helper()
 	sc := rwpScenario(b, 10, 10, frac, seed)
-	sc.Protocol = proto
+	if proto != "frugal" {
+		sc.Protocol = netsim.ProtocolSpec{Name: proto}
+	}
 	validity := 60 * time.Second
 	for i := 0; i < events; i++ {
 		sc.Publications = append(sc.Publications, netsim.Publication{
@@ -175,8 +178,8 @@ func frugalityRun(b *testing.B, proto netsim.ProtocolKind, events int, frac floa
 func BenchmarkFig17Bandwidth(b *testing.B) {
 	var frugal, flood float64
 	for i := 0; i < b.N; i++ {
-		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).AppBytesPerProcess()
-		flood += frugalityRun(b, netsim.FloodInterest, 5, 0.6, int64(i)+1).AppBytesPerProcess()
+		frugal += frugalityRun(b, "frugal", 5, 0.6, int64(i)+1).AppBytesPerProcess()
+		flood += frugalityRun(b, "interests-aware-flooding", 5, 0.6, int64(i)+1).AppBytesPerProcess()
 	}
 	b.ReportMetric(frugal/float64(b.N), "frugal-B/proc")
 	b.ReportMetric(flood/float64(b.N), "flood-B/proc")
@@ -186,8 +189,8 @@ func BenchmarkFig17Bandwidth(b *testing.B) {
 func BenchmarkFig18EventsSent(b *testing.B) {
 	var frugal, flood float64
 	for i := 0; i < b.N; i++ {
-		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).EventsSentPerProcess()
-		flood += frugalityRun(b, netsim.FloodSimple, 5, 0.6, int64(i)+1).EventsSentPerProcess()
+		frugal += frugalityRun(b, "frugal", 5, 0.6, int64(i)+1).EventsSentPerProcess()
+		flood += frugalityRun(b, "simple-flooding", 5, 0.6, int64(i)+1).EventsSentPerProcess()
 	}
 	b.ReportMetric(frugal/float64(b.N), "frugal-sent/proc")
 	b.ReportMetric(flood/float64(b.N), "flood-sent/proc")
@@ -197,8 +200,8 @@ func BenchmarkFig18EventsSent(b *testing.B) {
 func BenchmarkFig19Duplicates(b *testing.B) {
 	var frugal, flood float64
 	for i := 0; i < b.N; i++ {
-		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).DuplicatesPerProcess()
-		flood += frugalityRun(b, netsim.FloodInterest, 5, 0.6, int64(i)+1).DuplicatesPerProcess()
+		frugal += frugalityRun(b, "frugal", 5, 0.6, int64(i)+1).DuplicatesPerProcess()
+		flood += frugalityRun(b, "interests-aware-flooding", 5, 0.6, int64(i)+1).DuplicatesPerProcess()
 	}
 	b.ReportMetric(frugal/float64(b.N), "frugal-dup/proc")
 	b.ReportMetric(flood/float64(b.N), "flood-dup/proc")
@@ -209,8 +212,8 @@ func BenchmarkFig19Duplicates(b *testing.B) {
 func BenchmarkFig20Parasites(b *testing.B) {
 	var frugal, flood float64
 	for i := 0; i < b.N; i++ {
-		frugal += frugalityRun(b, netsim.Frugal, 5, 0.6, int64(i)+1).ParasitesPerProcess()
-		flood += frugalityRun(b, netsim.FloodInterest, 5, 0.6, int64(i)+1).ParasitesPerProcess()
+		frugal += frugalityRun(b, "frugal", 5, 0.6, int64(i)+1).ParasitesPerProcess()
+		flood += frugalityRun(b, "interests-aware-flooding", 5, 0.6, int64(i)+1).ParasitesPerProcess()
 	}
 	b.ReportMetric(frugal/float64(b.N), "frugal-par/proc")
 	b.ReportMetric(flood/float64(b.N), "flood-par/proc")
@@ -221,8 +224,9 @@ func BenchmarkFig20Parasites(b *testing.B) {
 func ablationRun(b *testing.B, seed int64, mut func(*netsim.CoreTuning)) *netsim.Result {
 	b.Helper()
 	sc := rwpScenario(b, 10, 10, 0.8, seed)
-	sc.Core.HBUpperBound = 2 * time.Second
-	mut(&sc.Core)
+	tun := netsim.CoreTuning{HBUpperBound: 2 * time.Second, UseSpeed: true}
+	mut(&tun)
+	sc.Protocol = netsim.FrugalSpec(tun)
 	for i := 0; i < 5; i++ {
 		sc.Publications = append(sc.Publications, netsim.Publication{
 			Offset:    time.Duration(i) * 500 * time.Millisecond,
@@ -490,11 +494,85 @@ func BenchmarkExtStorm(b *testing.B) {
 		sc := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
 		frugal += runReliability(b, sc, -1, 120*time.Second)
 		sc2 := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
-		sc2.Protocol = netsim.StormProbabilistic
+		sc2.Protocol = netsim.ProtocolSpec{Name: "probabilistic-broadcast"}
 		storm += runReliability(b, sc2, -1, 120*time.Second)
 	}
 	b.ReportMetric(frugal/float64(b.N), "frugal-rel")
 	b.ReportMetric(storm/float64(b.N), "storm-rel")
+}
+
+// BenchmarkGossipVsFrugal is the CI smoke for the protocol registry: a
+// reduced scenario pass comparing the push-pull gossip baseline (wired
+// in purely through internal/proto) against the frugal protocol.
+func BenchmarkGossipVsFrugal(b *testing.B) {
+	var frugal, gossip float64
+	for i := 0; i < b.N; i++ {
+		frugal += runReliability(b, rwpScenario(b, 10, 10, 0.8, int64(i)+1), -1, 60*time.Second)
+		sc := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
+		sc.Protocol = netsim.ProtocolSpec{Name: "gossip-pushpull"}
+		gossip += runReliability(b, sc, -1, 60*time.Second)
+	}
+	b.ReportMetric(frugal/float64(b.N), "frugal-rel")
+	b.ReportMetric(gossip/float64(b.N), "gossip-rel")
+}
+
+type nullTransport struct{}
+
+func (nullTransport) Broadcast(event.Message) {}
+
+// BenchmarkProtocolDispatch guards the protocol registry's overhead:
+// the name lookup happens once per node at build time — never per
+// message — so registry-build must track direct construction and the
+// per-message path through the Disseminator interface must stay flat.
+// Compare registry-build vs direct-build ns/op; handle-message is the
+// hot path the old buildProtocol switch also served through an
+// identical interface value.
+func BenchmarkProtocolDispatch(b *testing.B) {
+	newEnv := func(eng *sim.Engine) proto.Env {
+		return proto.Env{
+			ID:        1,
+			Sched:     proto.EngineScheduler{Eng: eng},
+			Transport: nullTransport{},
+			Rand:      rand.New(rand.NewSource(1)),
+		}
+	}
+	b.Run("registry-build", func(b *testing.B) {
+		env := newEnv(sim.New(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := proto.Build("frugal", nil, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-build", func(b *testing.B) {
+		env := newEnv(sim.New(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.New(core.Config{ID: env.ID, Rand: env.Rand}, env.Sched, env.Transport); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("handle-message", func(b *testing.B) {
+		env := newEnv(sim.New(1))
+		d, err := proto.Build("frugal", nil, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Subscribe(topic.MustParse(".t")); err != nil {
+			b.Fatal(err)
+		}
+		hb := event.Heartbeat{
+			From:          2,
+			Subscriptions: []topic.Topic{topic.MustParse(".t")},
+			Speed:         10,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.HandleMessage(hb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExtShadowing measures the headline point under log-normal

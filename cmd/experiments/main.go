@@ -5,7 +5,9 @@
 //
 //	experiments -fig fig13               # one experiment, scaled-down
 //	experiments -fig all -full -seeds 30 # paper-scale everything (hours)
-//	experiments -scenario manhattan      # frugal vs baselines, one scenario
+//	experiments -scenario manhattan      # every protocol, one scenario
+//	experiments -scenario manhattan -proto gossip-pushpull
+//	experiments -proto gossip-pushpull   # one protocol, every scenario
 //	experiments -parallel 8              # cap the worker pool (0 = NumCPU)
 //	experiments -list
 //
@@ -33,12 +35,35 @@
 //	ext-storm      frugal vs broadcast-storm schemes (Ni et al.)
 //	scenarios      frugal vs baselines across every registered scenario
 //
+// # Protocol catalog (-proto)
+//
+// Protocols are registered by name in the internal/proto registry
+// (each protocol package registers itself; see ARCHITECTURE.md "Adding
+// a protocol"). The scenario sweeps run every registered protocol;
+// -proto <name> restricts them to one. The built-ins:
+//
+//	frugal                        the paper's protocol: adaptive
+//	                              heartbeats, id pre-exchange,
+//	                              proportional back-off
+//	simple-flooding               approach (1): rebroadcast everything
+//	                              each period
+//	interests-aware-flooding      approach (2): store/rebroadcast only
+//	                              subscribed events
+//	neighbors-interests-flooding  approach (3): one addressed copy per
+//	                              interested neighbor
+//	probabilistic-broadcast       Ni et al.: single-shot relay with
+//	                              probability P
+//	counter-based-broadcast       Ni et al.: single-shot relay unless C
+//	                              copies were overheard
+//	gossip-pushpull               push-pull rumor mongering: fanout-
+//	                              bounded pushes + digest-driven pulls
+//
 // # Scenario catalog (-scenario)
 //
 // Scenarios are full declarative workloads registered with
 // netsim.RegisterScenario; -scenario <name> sweeps one of them across
-// the frugal protocol and the flooding/storm baselines. Each sweep
-// finishes in about a second at the default 3 seeds. The built-ins:
+// every registered protocol. Each sweep finishes in about a second at
+// the default 3 seeds. The built-ins:
 //
 //	campus           the paper's city section: 15 nodes on the synthetic
 //	                 campus street grid, one 150 s event, frugal tuning
@@ -71,32 +96,38 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 )
 
-// listing renders the -list output from the experiment and scenario
-// registries. Tests assert it covers both registries exactly.
+// listing renders the -list output from the experiment, scenario and
+// protocol registries. Tests assert it covers all three exactly.
 func listing() string {
 	var b strings.Builder
 	b.WriteString("experiments (-fig):\n")
 	for _, d := range exp.All() {
 		fmt.Fprintf(&b, "  %-15s %s\n", d.ID, d.Title)
 	}
-	b.WriteString("\nscenarios (-scenario, frugal vs baselines):\n")
+	b.WriteString("\nscenarios (-scenario, swept across every protocol):\n")
 	for _, d := range netsim.Scenarios() {
 		fmt.Fprintf(&b, "  %-15s %s (default sweep %s)\n", d.Name, d.Description, d.Runtime)
+	}
+	b.WriteString("\nprotocols (-proto, restricts the scenario sweeps):\n")
+	for _, d := range proto.Protocols() {
+		fmt.Fprintf(&b, "  %-28s %s\n", d.Name, d.Description)
 	}
 	return b.String()
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "experiment id (fig11..fig20, ablation, ext-*, scenarios) or 'all'")
-		scenario = flag.String("scenario", "", "registered scenario to sweep against the baselines (see -list)")
-		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
-		seeds    = flag.Int("seeds", 0, "runs per sweep point (0 = experiment default)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU); tables are byte-identical at any value")
-		list     = flag.Bool("list", false, "list experiments and scenarios, then exit")
-		verbose  = flag.Bool("v", false, "print per-point progress")
+		fig       = flag.String("fig", "", "experiment id (fig11..fig20, ablation, ext-*, scenarios) or 'all'")
+		scenario  = flag.String("scenario", "", "registered scenario to sweep across the protocols (see -list)")
+		protoFlag = flag.String("proto", "", "restrict the scenario sweeps to one registered protocol (see -list)")
+		full      = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seeds     = flag.Int("seeds", 0, "runs per sweep point (0 = experiment default)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU); tables are byte-identical at any value")
+		list      = flag.Bool("list", false, "list experiments, scenarios and protocols, then exit")
+		verbose   = flag.Bool("v", false, "print per-point progress")
 	)
 	flag.Parse()
 
@@ -108,11 +139,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "use either -fig or -scenario, not both")
 		os.Exit(2)
 	}
+	if *protoFlag != "" {
+		if _, ok := proto.LookupProtocol(*protoFlag); !ok {
+			fmt.Fprintf(os.Stderr, "unknown protocol %q; valid ids:\n\n%s", *protoFlag, listing())
+			os.Exit(2)
+		}
+		if *fig != "" && *fig != "scenarios" {
+			fmt.Fprintln(os.Stderr, "-proto applies to the scenario sweeps; combine it with -scenario or -fig scenarios")
+			os.Exit(2)
+		}
+		if *fig == "" && *scenario == "" {
+			*fig = "scenarios"
+		}
+	}
 	if *fig == "" && *scenario == "" {
 		*fig = "all"
 	}
 
-	opts := exp.Options{Seeds: *seeds, Full: *full, Parallel: *parallel}
+	opts := exp.Options{Seeds: *seeds, Full: *full, Parallel: *parallel, Protocol: *protoFlag}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
@@ -127,7 +171,7 @@ func main() {
 		name := *scenario
 		defs = []exp.Definition{{
 			ID:    "scenario-" + name,
-			Title: "frugal vs baselines on scenario " + name,
+			Title: "protocol sweep on scenario " + name,
 			Run:   func(o exp.Options) (*exp.Output, error) { return exp.ScenarioSweep(name, o) },
 		}}
 	case *fig == "all":

@@ -6,12 +6,14 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 )
 
 // TestListingMatchesRegistries pins the -list contract: the listing is
-// generated from the experiment and scenario registries, so every
-// registered id/name appears exactly once and nothing else does — no
-// silently unreachable scenarios, no stale catalog lines.
+// generated from the experiment, scenario and protocol registries, so
+// every registered id/name appears exactly once and nothing else does —
+// no silently unreachable scenarios or protocols, no stale catalog
+// lines.
 func TestListingMatchesRegistries(t *testing.T) {
 	out := listing()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
@@ -31,6 +33,7 @@ func TestListingMatchesRegistries(t *testing.T) {
 		want = append(want, d.ID)
 	}
 	want = append(want, netsim.ScenarioNames()...)
+	want = append(want, proto.ProtocolNames()...)
 	if len(ids) != len(want) {
 		t.Fatalf("listing has %d entries, registries have %d:\n%s", len(ids), len(want), out)
 	}
@@ -38,6 +41,10 @@ func TestListingMatchesRegistries(t *testing.T) {
 		if ids[i] != want[i] {
 			t.Fatalf("listing entry %d = %q, want %q (registry order)", i, ids[i], want[i])
 		}
+	}
+	// The acceptance headline: the new baseline is in the catalog.
+	if !strings.Contains(out, "gossip-pushpull") {
+		t.Fatalf("listing does not mention gossip-pushpull:\n%s", out)
 	}
 }
 
@@ -53,6 +60,11 @@ func TestScenarioListingRunnable(t *testing.T) {
 	for _, name := range netsim.ScenarioNames() {
 		if _, ok := netsim.LookupScenario(name); !ok {
 			t.Fatalf("listed scenario %q not resolvable", name)
+		}
+	}
+	for _, name := range proto.ProtocolNames() {
+		if _, ok := proto.LookupProtocol(name); !ok {
+			t.Fatalf("listed protocol %q not resolvable", name)
 		}
 	}
 }

@@ -14,6 +14,7 @@
 //	frugalsim -mobility manhattan -nodes 40 -range 100
 //	frugalsim -mobility highway -nodes 32 -range 250
 //	frugalsim -protocol simple-flooding -events 5
+//	frugalsim -protocol gossip-pushpull -events 5
 //	frugalsim -scenario manhattan -seed 3        # registered scenario
 //	frugalsim -scenario highway -protocol counter-based-broadcast
 package main
@@ -36,7 +37,7 @@ func main() {
 		scenario = flag.String("scenario", "",
 			"registered scenario name (overrides the ad-hoc flags; see 'experiments -list')")
 		protocol = flag.String("protocol", "frugal",
-			"frugal | simple-flooding | interests-aware-flooding | neighbors-interests-flooding | probabilistic-broadcast | counter-based-broadcast")
+			"registered protocol name (frugal, the flooding/storm baselines, gossip-pushpull; see 'experiments -list')")
 		nodes     = flag.Int("nodes", 50, "number of processes")
 		mobility  = flag.String("mobility", "rwp", "rwp | city | manhattan | highway | static")
 		side      = flag.Float64("side", 2887, "square area side in meters (rwp/static)")
@@ -56,9 +57,12 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	proto, ok := netsim.ParseProtocol(*protocol)
+	spec, ok := netsim.ParseProtocol(*protocol)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		fmt.Fprintf(os.Stderr, "unknown protocol %q; registered protocols:\n", *protocol)
+		for _, name := range netsim.ProtocolNames() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
 		os.Exit(2)
 	}
 
@@ -88,20 +92,26 @@ func main() {
 			os.Exit(2)
 		}
 		sc = def.Instantiate(*seed)
-		if explicit["protocol"] {
-			sc.Protocol = proto
+		if explicit["protocol"] && spec.String() != sc.Protocol.String() {
+			// Switching protocol on a template: the template's tuning
+			// belongs to its own protocol, so the substitute runs with
+			// its registered defaults.
+			sc.Protocol = spec
 		}
 	} else {
-		sc = netsim.Scenario{
-			Name:     "frugalsim",
-			Nodes:    *nodes,
-			Seed:     *seed,
-			Protocol: proto,
-			MAC:      mac.DefaultConfig(*radio),
-			Core: netsim.CoreTuning{
+		if spec.String() == "frugal" {
+			// The ad-hoc frugal scenario exposes the heartbeat bound.
+			spec = netsim.FrugalSpec(netsim.CoreTuning{
 				HBUpperBound: *hbUpper,
 				UseSpeed:     true,
-			},
+			})
+		}
+		sc = netsim.Scenario{
+			Name:               "frugalsim",
+			Nodes:              *nodes,
+			Seed:               *seed,
+			Protocol:           spec,
+			MAC:                mac.DefaultConfig(*radio),
 			SubscriberFraction: *subs,
 			Warmup:             *warmup,
 			Measure:            *validity + 5*time.Second,

@@ -9,8 +9,13 @@
 // Layout:
 //
 //   - internal/core — the frugal protocol (the paper's contribution)
+//   - internal/proto — the protocol layer: Disseminator interface,
+//     shared Stats/Scheduler/Transport, and the protocol registry
+//     (internal/proto/all wires the built-ins in)
 //   - internal/sim, geo, topic, event, radio, mobility, mac — substrates
-//   - internal/flood — the three flooding baselines of Section 5.2
+//   - internal/flood — the flooding baselines of Section 5.2 plus the
+//     broadcast-storm schemes
+//   - internal/gossip — the push-pull rumor-mongering baseline
 //   - internal/netsim, metrics, exp — scenario runner, scenario
 //     registry and experiments
 //   - cmd/experiments, cmd/frugalsim — command-line tools
@@ -40,7 +45,7 @@
 // a netsim.ScenarioDef bundles mobility model, node count, radio range,
 // protocol tuning, publication schedule, optional crash/churn events and
 // measurement windows under a name (netsim.RegisterScenario). Registered
-// scenarios are swept against the flooding/storm baselines by the exp
+// scenarios are swept across every registered protocol by the exp
 // package's "scenarios" experiment family and are addressable from both
 // CLIs (experiments -scenario, frugalsim -scenario). The built-in
 // catalog:
@@ -59,14 +64,40 @@
 //	                 tiers on a 3.5 km bidirectional corridor with
 //	                 on/off-ramps, two 90 s events
 //
-// Every catalog entry is swept against frugal, simple flooding,
-// interests-aware flooding and counter-based broadcast; a default-scale
-// sweep (3 seeds x 4 protocols) finishes in under a second.
+// Every catalog entry is swept against every registered protocol; a
+// default-scale sweep (3 seeds x 7 protocols) finishes in about a
+// second.
 //
 // The vehicular environments are backed by two mobility models layered
 // on the street-graph machinery (mobility.Manhattan, mobility.Highway);
 // both satisfy the same determinism, continuity and speed-bound
 // contracts as the paper's models (see the internal/mobility godoc).
+//
+// # Protocol registry
+//
+// Protocols are first-class and declarative too: internal/proto defines
+// the Disseminator interface and a registry mapping names to factories
+// plus params schemas (proto.RegisterProtocol); each protocol package
+// registers itself in init and internal/proto/all blank-imports them
+// all. A netsim.Scenario selects its protocol with ProtocolSpec{Name,
+// Params} — validated against the registered schema at
+// Scenario.Validate time — and the runner builds instances purely by
+// name. The built-in catalog:
+//
+//	frugal                        the paper's protocol (internal/core)
+//	simple-flooding               flooding approach (1)
+//	interests-aware-flooding      flooding approach (2)
+//	neighbors-interests-flooding  flooding approach (3)
+//	probabilistic-broadcast       Ni et al.'s probabilistic scheme
+//	counter-based-broadcast       Ni et al.'s counter-based scheme
+//	gossip-pushpull               push-pull rumor mongering
+//	                              (internal/gossip)
+//
+// Every registered protocol must pass the conformance suite in
+// internal/proto (safety under drop/duplicate/reorder, no parasite
+// deliveries, monotone counters, per-seed determinism); the suite is
+// table-driven over the registry, so registration is enrollment. See
+// ARCHITECTURE.md "Adding a protocol".
 //
 // # Determinism contract
 //

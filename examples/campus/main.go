@@ -40,10 +40,10 @@ func main() {
 						DestPause: 5 * time.Second,
 					},
 					MAC: mac.DefaultConfig(44),
-					Core: netsim.CoreTuning{
+					Protocol: netsim.FrugalSpec(netsim.CoreTuning{
 						HBUpperBound: time.Second,
 						UseSpeed:     true,
-					},
+					}),
 					SubscriberFraction: 1.0,
 					Publications: []netsim.Publication{
 						{Publisher: publisher, Validity: validity},

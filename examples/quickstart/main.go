@@ -30,10 +30,10 @@ func main() {
 			Pause:    time.Second,
 		},
 		MAC: mac.DefaultConfig(339), // the paper's 2 Mbps radio range
-		Core: netsim.CoreTuning{
+		Protocol: netsim.FrugalSpec(netsim.CoreTuning{
 			HBUpperBound: time.Second,
 			UseSpeed:     true,
-		},
+		}),
 		SubscriberFraction: 1.0, // everyone wants the event
 		Publications: []netsim.Publication{
 			{Offset: 0, Publisher: 0, Validity: 60 * time.Second},

@@ -30,33 +30,28 @@
 package core
 
 import (
-	"time"
-
-	"repro/internal/event"
+	"repro/internal/proto"
 )
 
+// The protocol-facing interfaces and the shared counters live in
+// internal/proto (the protocol layer's neutral ground, shared with the
+// flooding/gossip baselines and the registry); these aliases keep the
+// historical core-qualified names working for deployments and tests.
+
 // Timer is a cancellable pending callback, as returned by Scheduler.After.
-type Timer interface {
-	// Stop cancels the callback if it has not run yet and reports
-	// whether it did.
-	Stop() bool
-}
+type Timer = proto.Timer
 
 // Scheduler abstracts time for the protocol: the simulator provides
 // virtual time, real deployments provide the wall clock.
-type Scheduler interface {
-	// Now returns the time elapsed since an arbitrary fixed epoch. It
-	// must be monotonically non-decreasing.
-	Now() time.Duration
-	// After schedules fn to run d from now on the protocol's thread.
-	After(d time.Duration, fn func()) Timer
-}
+type Scheduler = proto.Scheduler
 
 // Transport is the one-hop broadcast primitive of the underlying MAC
 // layer. Broadcast must not call back into the Protocol synchronously
 // with a received message on a real concurrent transport; the simulator's
 // in-order delivery is fine because everything stays on one logical
 // thread.
-type Transport interface {
-	Broadcast(m event.Message)
-}
+type Transport = proto.Transport
+
+// Stats counts protocol activity; all counters are cumulative since
+// creation. Snapshot via Protocol.Stats.
+type Stats = proto.Stats

@@ -10,23 +10,6 @@ import (
 	"repro/internal/topic"
 )
 
-// Stats counts protocol activity; all counters are cumulative since
-// creation. Snapshot via Protocol.Stats.
-type Stats struct {
-	HeartbeatsSent uint64
-	IDListsSent    uint64
-	EventMsgsSent  uint64 // Events messages broadcast
-	EventsSent     uint64 // event copies across all Events messages
-	EventsReceived uint64 // event copies heard, any topic
-	Delivered      uint64 // events handed to the application
-	Duplicates     uint64 // received events already stored/delivered
-	Parasites      uint64 // received events outside our subscriptions
-	ExpiredDrops   uint64 // received events already past validity
-	Published      uint64
-	TableEvictions uint64 // events evicted by the gc(e) policy
-	NeighborsGCed  uint64
-}
-
 // Protocol is one process p_i running the frugal dissemination algorithm.
 // See the package comment for the concurrency contract.
 type Protocol struct {

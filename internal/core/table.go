@@ -142,10 +142,7 @@ func olderID(a, b *tableEntry) bool {
 	if a.storedAt != b.storedAt {
 		return a.storedAt < b.storedAt
 	}
-	if a.ev.ID.Hi != b.ev.ID.Hi {
-		return a.ev.ID.Hi < b.ev.ID.Hi
-	}
-	return a.ev.ID.Lo < b.ev.ID.Lo
+	return a.ev.ID.Less(b.ev.ID)
 }
 
 func (t *eventTable) remove(e *tableEntry) {
@@ -181,11 +178,6 @@ func (t *eventTable) idsMatching(subs *topic.Set, now time.Duration) []event.ID 
 			return true
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Hi != out[j].Hi {
-			return out[i].Hi < out[j].Hi
-		}
-		return out[i].Lo < out[j].Lo
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }

@@ -33,6 +33,15 @@ func NewID(rng *rand.Rand) ID {
 // IsZero reports whether the identifier is the (reserved) zero value.
 func (id ID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
 
+// Less orders ids lexicographically by (Hi, Lo) — the stable ordering
+// every protocol uses for deterministic iteration over stored events.
+func (id ID) Less(o ID) bool {
+	if id.Hi != o.Hi {
+		return id.Hi < o.Hi
+	}
+	return id.Lo < o.Lo
+}
+
 // String renders the identifier as 32 hex digits.
 func (id ID) String() string { return fmt.Sprintf("%016x%016x", id.Hi, id.Lo) }
 

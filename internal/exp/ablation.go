@@ -123,9 +123,11 @@ func ablationRun(o Options, mut func(*netsim.CoreTuning), maxEvents int, seed in
 	}
 	sc := rwpScenario(env, 10, 10, 0.8, seed)
 	sc.Name = "ablation"
-	sc.Core.HBUpperBound = 2 * time.Second // leave headroom for the adaptive HB to matter
-	sc.Core.MaxEvents = maxEvents
-	mut(&sc.Core)
+	tun := frugalTuning(sc)
+	tun.HBUpperBound = 2 * time.Second // leave headroom for the adaptive HB to matter
+	tun.MaxEvents = maxEvents
+	mut(&tun)
+	sc.Protocol = netsim.FrugalSpec(tun)
 	n := 5
 	if maxEvents > 0 {
 		n = 8 // overflow the table to exercise GC

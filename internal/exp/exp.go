@@ -30,6 +30,10 @@ type Options struct {
 	// selects runtime.NumCPU(). Output is byte-identical at any
 	// parallelism (see runJobs).
 	Parallel int
+	// Protocol, when non-empty, restricts the registry-backed scenario
+	// sweeps to one registered protocol (cmd/experiments -proto). The
+	// figure sweeps pin their own protocol panels and ignore it.
+	Protocol string
 	// Progress, when non-nil, receives one liveness line as each
 	// simulation finishes (emitted from worker goroutines, serialized
 	// internally) plus one line per sweep point during aggregation, in
@@ -91,7 +95,7 @@ func All() []Definition {
 		{"ablation", "Design-choice ablations (back-off, suppression, id exchange, GC, adaptive HB)", Ablations},
 		{"ext-shadowing", "Extension: reliability under log-normal shadowing", ExtShadowing},
 		{"ext-storm", "Extension: frugal vs broadcast-storm schemes (Ni et al.)", ExtStorm},
-		{"scenarios", "Extension: frugal vs baselines across every registered scenario (see -scenario)", Scenarios},
+		{"scenarios", "Extension: every registered protocol across every registered scenario (see -scenario, -proto)", Scenarios},
 	}
 }
 
@@ -130,6 +134,39 @@ func rwpBase(o Options) rwpEnv {
 	return rwpEnv{nodes: 50, area: geo.NewRect(2887, 2887), warmup: 60 * time.Second}
 }
 
+// rwpFrugal is the frugal spec the random-waypoint environments run:
+// the paper's 1 s heartbeat upper bound, speed fed into heartbeats.
+// Sweeps that include the frugal protocol in their panel reuse it so
+// re-assigning sc.Protocol preserves the environment's tuning.
+func rwpFrugal() netsim.ProtocolSpec {
+	return netsim.FrugalSpec(netsim.CoreTuning{
+		HBUpperBound: time.Second, // paper: RWP heartbeat upper bound 1 s
+		UseSpeed:     true,
+	})
+}
+
+// frugalTuning extracts the frugal tuning from a scenario's spec so a
+// sweep can vary one knob (ablations, heartbeat-bound sweeps). A
+// frugal spec with nil Params means the defaults, i.e. the zero
+// tuning. It panics when the scenario runs a different protocol —
+// silently returning zero tuning there would make the sweep produce
+// plausible but wrong tables.
+func frugalTuning(sc netsim.Scenario) netsim.CoreTuning {
+	if sc.Protocol.String() != "frugal" {
+		panic(fmt.Sprintf("exp: scenario %q does not run the frugal protocol (%v)",
+			sc.Name, sc.Protocol))
+	}
+	if sc.Protocol.Params == nil {
+		return netsim.CoreTuning{}
+	}
+	t, ok := sc.Protocol.Params.(netsim.CoreTuning)
+	if !ok {
+		panic(fmt.Sprintf("exp: scenario %q frugal params are %T, want netsim.CoreTuning",
+			sc.Name, sc.Protocol.Params))
+	}
+	return t
+}
+
 // rwpScenario builds the paper's random-waypoint scenario skeleton.
 func rwpScenario(env rwpEnv, minSpeed, maxSpeed float64, frac float64, seed int64) netsim.Scenario {
 	kind := netsim.RandomWaypoint
@@ -146,11 +183,8 @@ func rwpScenario(env rwpEnv, minSpeed, maxSpeed float64, frac float64, seed int6
 			MaxSpeed: maxSpeed,
 			Pause:    time.Second, // paper: pause time always 1 s
 		},
-		MAC: mac.DefaultConfig(paperRange),
-		Core: netsim.CoreTuning{
-			HBUpperBound: time.Second, // paper: RWP heartbeat upper bound 1 s
-			UseSpeed:     true,
-		},
+		MAC:                mac.DefaultConfig(paperRange),
+		Protocol:           rwpFrugal(),
 		SubscriberFraction: frac,
 		Warmup:             env.warmup,
 	}
@@ -171,10 +205,10 @@ func cityScenario(hbUpper time.Duration, frac float64, seed int64) netsim.Scenar
 			DestPause: 5 * time.Second,
 		},
 		MAC: mac.DefaultConfig(cityRange),
-		Core: netsim.CoreTuning{
+		Protocol: netsim.FrugalSpec(netsim.CoreTuning{
 			HBUpperBound: hbUpper,
 			UseSpeed:     true, // heartbeats track the 8-13 m/s road speeds
-		},
+		}),
 		SubscriberFraction: frac,
 		Warmup:             30 * time.Second,
 	}

@@ -76,9 +76,9 @@ func TestFrugalityOrderings(t *testing.T) {
 	}
 	maxEvents := d.events[len(d.events)-1]
 	for _, pct := range d.pcts {
-		frugal := d.cells[frugalKey{netsim.Frugal, maxEvents, pct}]
-		simple := d.cells[frugalKey{netsim.FloodSimple, maxEvents, pct}]
-		aware := d.cells[frugalKey{netsim.FloodInterest, maxEvents, pct}]
+		frugal := d.cells[frugalKey{"frugal", maxEvents, pct}]
+		simple := d.cells[frugalKey{"simple-flooding", maxEvents, pct}]
+		aware := d.cells[frugalKey{"interests-aware-flooding", maxEvents, pct}]
 		// Paper Fig 18: 50-100x fewer events sent; demand at least 5x.
 		if frugal.sent.Mean()*5 > simple.sent.Mean() {
 			t.Errorf("pct=%d: frugal sent %.1f vs simple %.1f, want >5x gap",
@@ -96,9 +96,9 @@ func TestFrugalityOrderings(t *testing.T) {
 		}
 	}
 	// Paper Fig 20: parasites are worst around 60% interest for ours.
-	par20 := d.cells[frugalKey{netsim.Frugal, maxEvents, 20}].parasites.Mean()
-	par60 := d.cells[frugalKey{netsim.Frugal, maxEvents, 60}].parasites.Mean()
-	par100 := d.cells[frugalKey{netsim.Frugal, maxEvents, 100}].parasites.Mean()
+	par20 := d.cells[frugalKey{"frugal", maxEvents, 20}].parasites.Mean()
+	par60 := d.cells[frugalKey{"frugal", maxEvents, 60}].parasites.Mean()
+	par100 := d.cells[frugalKey{"frugal", maxEvents, 100}].parasites.Mean()
 	if !(par60 > par20 && par60 > par100) {
 		t.Errorf("frugal parasites should peak at 60%%: 20%%=%.1f 60%%=%.1f 100%%=%.1f",
 			par20, par60, par100)
@@ -116,8 +116,8 @@ func TestFrugalityCrossover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frugal := d.cells[frugalKey{netsim.Frugal, 1, 20}]
-	aware := d.cells[frugalKey{netsim.FloodInterest, 1, 20}]
+	frugal := d.cells[frugalKey{"frugal", 1, 20}]
+	aware := d.cells[frugalKey{"interests-aware-flooding", 1, 20}]
 	if aware.bandwidth.Mean() >= frugal.bandwidth.Mean() {
 		t.Skipf("crossover not visible at this scale: frugal=%.0f aware=%.0f",
 			frugal.bandwidth.Mean(), aware.bandwidth.Mean())
@@ -212,7 +212,7 @@ func TestStormSchemesCannotExploitValidity(t *testing.T) {
 	// gain (almost) nothing from longer validities, while the frugal
 	// protocol keeps converting validity into reliability.
 	env := rwpBase(Options{})
-	run := func(proto netsim.ProtocolKind, v time.Duration) float64 {
+	run := func(proto netsim.ProtocolSpec, v time.Duration) float64 {
 		sc := rwpScenario(env, 10, 10, 0.8, 1)
 		sc.Protocol = proto
 		rel, err := reliabilityPoint(sc, -1, v)
@@ -221,8 +221,8 @@ func TestStormSchemesCannotExploitValidity(t *testing.T) {
 		}
 		return rel
 	}
-	frugalGain := run(netsim.Frugal, 180*time.Second) - run(netsim.Frugal, 30*time.Second)
-	stormGain := run(netsim.StormProbabilistic, 180*time.Second) - run(netsim.StormProbabilistic, 30*time.Second)
+	frugalGain := run(rwpFrugal(), 180*time.Second) - run(rwpFrugal(), 30*time.Second)
+	stormGain := run(netsim.ProtocolSpec{Name: "probabilistic-broadcast"}, 180*time.Second) - run(netsim.ProtocolSpec{Name: "probabilistic-broadcast"}, 30*time.Second)
 	if frugalGain <= stormGain {
 		t.Fatalf("frugal validity gain %.2f should exceed storm gain %.2f",
 			frugalGain, stormGain)

@@ -23,13 +23,13 @@ type frugalCell struct {
 }
 
 type frugalKey struct {
-	proto  netsim.ProtocolKind
+	proto  string // registry name
 	events int
 	pct    int
 }
 
 type frugalData struct {
-	protocols []netsim.ProtocolKind
+	protocols []netsim.ProtocolSpec
 	events    []int
 	pcts      []int
 	cells     map[frugalKey]*frugalCell
@@ -61,8 +61,12 @@ func frugalitySweep(o Options) (*frugalData, error) {
 	frugalMemo.Unlock()
 
 	env := rwpBase(o)
-	protocols := []netsim.ProtocolKind{
-		netsim.Frugal, netsim.FloodInterest, netsim.FloodSimple, netsim.FloodNeighbors,
+	// Paper panel in figure order; baselines resolve by registry name.
+	protocols := []netsim.ProtocolSpec{
+		rwpFrugal(),
+		{Name: "interests-aware-flooding"},
+		{Name: "simple-flooding"},
+		{Name: "neighbors-interests-flooding"},
 	}
 	data := &frugalData{
 		protocols: protocols,
@@ -102,7 +106,7 @@ func frugalitySweep(o Options) (*frugalData, error) {
 					cell.dups.Add(s.dups)
 					cell.parasites.Add(s.parasites)
 				}
-				data.cells[frugalKey{proto, n, pct}] = cell
+				data.cells[frugalKey{proto.String(), n, pct}] = cell
 				o.progress("frugality %v events=%d interest=%d%% -> bw=%s sent=%.1f dup=%.1f par=%.1f",
 					proto, n, pct, metrics.KB(cell.bandwidth.Mean()),
 					cell.sent.Mean(), cell.dups.Mean(), cell.parasites.Mean())
@@ -126,7 +130,7 @@ func boolInt(b bool) int {
 // random subscribers shortly after warm-up, all with the full-window
 // validity (the paper publishes 1-20 events of 400 bytes and measures for
 // 180 s at 10 m/s).
-func frugalityRun(env rwpEnv, proto netsim.ProtocolKind, n, pct int, validity time.Duration, seed int64) (*netsim.Result, error) {
+func frugalityRun(env rwpEnv, proto netsim.ProtocolSpec, n, pct int, validity time.Duration, seed int64) (*netsim.Result, error) {
 	sc := rwpScenario(env, 10, 10, float64(pct)/100, seed)
 	sc.Name = fmt.Sprintf("frugality-%v", proto)
 	sc.Protocol = proto
@@ -153,7 +157,7 @@ func renderFrugality(d *frugalData, title string, value func(*frugalCell) string
 		for _, n := range d.events {
 			row := []string{proto.String(), fmt.Sprintf("%d", n)}
 			for _, pct := range d.pcts {
-				row = append(row, value(d.cells[frugalKey{proto, n, pct}]))
+				row = append(row, value(d.cells[frugalKey{proto.String(), n, pct}]))
 			}
 			tb.AddRow(row...)
 		}

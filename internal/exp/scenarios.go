@@ -6,25 +6,42 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 )
 
-// scenarioProtocols is the protocol panel every registered scenario is
-// swept against: the frugal protocol, the two strongest flooding
-// baselines, and a broadcast-storm scheme.
-var scenarioProtocols = []netsim.ProtocolKind{
-	netsim.Frugal,
-	netsim.FloodSimple,
-	netsim.FloodInterest,
-	netsim.StormCounter,
+// scenarioPanel is the protocol panel one registered scenario is swept
+// against: every protocol in the proto registry, in registry (sorted)
+// order, so a newly registered baseline is compared automatically. The
+// panel entry matching the template's own protocol reuses the
+// template's spec — its tuning is part of the declared workload.
+// Options.Protocol restricts the panel to a single registered name
+// (cmd/experiments -proto).
+func scenarioPanel(def netsim.ScenarioDef, o Options) ([]netsim.ProtocolSpec, error) {
+	tmpl := def.Template.Protocol
+	var out []netsim.ProtocolSpec
+	for _, d := range proto.Protocols() {
+		if o.Protocol != "" && d.Name != o.Protocol {
+			continue
+		}
+		spec := netsim.ProtocolSpec{Name: d.Name}
+		if d.Name == tmpl.String() {
+			spec.Params = tmpl.Params
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("exp: unknown protocol %q (registered: %s)",
+			o.Protocol, strings.Join(proto.ProtocolNames(), ", "))
+	}
+	return out, nil
 }
 
 // Scenarios is the registry-backed experiment family: every scenario
 // registered with netsim.RegisterScenario — the paper's environments
-// plus the vehicular (VANET-style) extensions — is swept across the
-// frugal protocol and the flooding/storm baselines, one table per
-// scenario. The family iterates the registry itself, so a newly
-// registered workload shows up here (and in cmd/experiments -list)
-// with no further wiring.
+// plus the vehicular (VANET-style) extensions — is swept across every
+// registered protocol, one table per scenario. The family iterates
+// both registries itself, so a newly registered workload or baseline
+// shows up here (and in cmd/experiments -list) with no further wiring.
 func Scenarios(o Options) (*Output, error) {
 	var tables []*metrics.Table
 	for _, def := range netsim.Scenarios() {
@@ -57,13 +74,17 @@ func scenarioSweep(def netsim.ScenarioDef, o Options) (*Output, error) {
 	if o.Full {
 		seeds = o.seedCount(30)
 	}
+	panel, err := scenarioPanel(def, o)
+	if err != nil {
+		return nil, err
+	}
 	type sample struct {
 		rel, sent, dups, bytes float64
 	}
-	samples, err := runGrid(o, []int{len(scenarioProtocols), seeds},
+	samples, err := runGrid(o, []int{len(panel), seeds},
 		func(ix []int) (sample, error) {
 			sc := def.Instantiate(int64(ix[1]) + 1)
-			sc.Protocol = scenarioProtocols[ix[0]]
+			sc.Protocol = panel[ix[0]]
 			res, err := netsim.Run(sc)
 			if err != nil {
 				return sample{}, fmt.Errorf("scenario %s, %v: %w", def.Name, sc.Protocol, err)
@@ -81,7 +102,7 @@ func scenarioSweep(def netsim.ScenarioDef, o Options) (*Output, error) {
 	tb := metrics.NewTable(
 		fmt.Sprintf("Scenario %s — %s (%d seeds)", def.Name, def.Description, seeds),
 		"protocol", "reliability", "copies/proc", "dups/proc", "bandwidth")
-	for pi, proto := range scenarioProtocols {
+	for pi, spec := range panel {
 		var rel, sent, dups, bytes metrics.Agg
 		for seed := 0; seed < seeds; seed++ {
 			s := samples.At(pi, seed)
@@ -90,9 +111,9 @@ func scenarioSweep(def netsim.ScenarioDef, o Options) (*Output, error) {
 			dups.Add(s.dups)
 			bytes.Add(s.bytes)
 		}
-		tb.AddRow(proto.String(), metrics.Pct(rel.Mean()),
+		tb.AddRow(spec.String(), metrics.Pct(rel.Mean()),
 			metrics.F1(sent.Mean()), metrics.F1(dups.Mean()), metrics.KB(bytes.Mean()))
-		o.progress("scenario %s %v -> %s", def.Name, proto, metrics.Pct(rel.Mean()))
+		o.progress("scenario %s %v -> %s", def.Name, spec, metrics.Pct(rel.Mean()))
 	}
 	return &Output{Tables: []*metrics.Table{tb}}, nil
 }

@@ -25,8 +25,13 @@ func TestScenarioSweepParallelismInvariance(t *testing.T) {
 			t.Fatalf("%s tables differ across parallelism:\n--- parallel=1\n%s\n--- parallel=8\n%s",
 				name, serial, parallel)
 		}
-		if !strings.Contains(serial, "frugal") || !strings.Contains(serial, "counter-based-broadcast") {
-			t.Fatalf("%s table missing protocol rows:\n%s", name, serial)
+		// The panel enumerates the protocol registry: every registered
+		// protocol (including the gossip baseline, which no exp code
+		// names) must have a row.
+		for _, protoName := range netsim.ProtocolNames() {
+			if !strings.Contains(serial, protoName) {
+				t.Fatalf("%s table missing registered protocol %q:\n%s", name, protoName, serial)
+			}
 		}
 	}
 }

@@ -22,8 +22,10 @@ func ExtStorm(o Options) (*Output, error) {
 	}
 	env := rwpBase(o)
 	validities := []time.Duration{30 * time.Second, 90 * time.Second, 180 * time.Second}
-	protocols := []netsim.ProtocolKind{
-		netsim.Frugal, netsim.StormProbabilistic, netsim.StormCounter,
+	protocols := []netsim.ProtocolSpec{
+		rwpFrugal(),
+		{Name: "probabilistic-broadcast"},
+		{Name: "counter-based-broadcast"},
 	}
 
 	type sample struct {

@@ -390,12 +390,6 @@ func (p *Protocol) validSorted(now time.Duration) []*storedEvent {
 			out = append(out, se)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].ev.ID, out[j].ev.ID
-		if a.Hi != b.Hi {
-			return a.Hi < b.Hi
-		}
-		return a.Lo < b.Lo
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ev.ID.Less(out[j].ev.ID) })
 	return out
 }

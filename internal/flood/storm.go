@@ -296,11 +296,6 @@ func (s *Storm) sortedStormIDs() []event.ID {
 	for id := range s.store {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Hi != out[j].Hi {
-			return out[i].Hi < out[j].Hi
-		}
-		return out[i].Lo < out[j].Lo
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }

@@ -45,7 +45,7 @@ func TestGridParityWithFullScan(t *testing.T) {
 					Seed:               3,
 					Mobility:           tc.mob,
 					MAC:                mac.DefaultConfig(339),
-					Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+					Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 					SubscriberFraction: 0.8,
 					Warmup:             10 * time.Second,
 					Publications: []Publication{

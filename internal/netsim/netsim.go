@@ -1,8 +1,10 @@
 // Package netsim assembles full simulation scenarios: N mobile nodes
-// running a dissemination protocol (the frugal protocol or a flooding
-// baseline) over the CSMA broadcast medium, with subscription assignment,
-// scheduled publications, optional crashes, warm-up handling and
-// measurement-window accounting.
+// running a dissemination protocol over the CSMA broadcast medium, with
+// subscription assignment, scheduled publications, optional crashes,
+// warm-up handling and measurement-window accounting. Protocols are
+// resolved by name through the internal/proto registry (ProtocolSpec);
+// the built-ins — frugal, the flooding and broadcast-storm baselines,
+// push-pull gossip — are wired in via internal/proto/all.
 //
 // A Result is a pure function of (Scenario, Seed); experiments in
 // internal/exp average Results across seeds.
@@ -18,63 +20,61 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mac"
 	"repro/internal/mobility"
+	"repro/internal/proto"
 	"repro/internal/topic"
 	"repro/internal/trace"
 )
 
-// ProtocolKind selects the dissemination protocol under test.
-type ProtocolKind int
-
-const (
-	// Frugal is the paper's protocol (internal/core).
-	Frugal ProtocolKind = iota
-	// FloodSimple is flooding approach (1).
-	FloodSimple
-	// FloodInterest is flooding approach (2), interests-aware.
-	FloodInterest
-	// FloodNeighbors is flooding approach (3), neighbors'-interests.
-	FloodNeighbors
-	// StormProbabilistic is Ni et al.'s probabilistic broadcast scheme
-	// (single-shot relay with probability P).
-	StormProbabilistic
-	// StormCounter is Ni et al.'s counter-based broadcast scheme
-	// (single-shot relay unless C copies were overheard).
-	StormCounter
-)
-
-// String implements fmt.Stringer.
-func (k ProtocolKind) String() string {
-	switch k {
-	case Frugal:
-		return "frugal"
-	case FloodSimple:
-		return "simple-flooding"
-	case FloodInterest:
-		return "interests-aware-flooding"
-	case FloodNeighbors:
-		return "neighbors-interests-flooding"
-	case StormProbabilistic:
-		return "probabilistic-broadcast"
-	case StormCounter:
-		return "counter-based-broadcast"
-	default:
-		return fmt.Sprintf("protocol(%d)", int(k))
-	}
+// ProtocolSpec selects and tunes the dissemination protocol under test
+// by registry name (see internal/proto): Name is the registered key and
+// Params, when non-nil, must have the protocol's registered params type
+// (nil selects the protocol's defaults). The zero spec selects the
+// paper's frugal protocol with default tuning.
+type ProtocolSpec struct {
+	Name   string
+	Params proto.Params
 }
 
-// ParseProtocol is the inverse of ProtocolKind.String. Keep this next
-// to the const block: a new kind needs exactly these two entries.
-func ParseProtocol(s string) (ProtocolKind, bool) {
-	for _, k := range []ProtocolKind{
-		Frugal, FloodSimple, FloodInterest, FloodNeighbors,
-		StormProbabilistic, StormCounter,
-	} {
-		if k.String() == s {
-			return k, true
-		}
+// String implements fmt.Stringer: the registry name.
+func (s ProtocolSpec) String() string {
+	if s.Name == "" {
+		return core.ProtocolName
 	}
-	return 0, false
+	return s.Name
 }
+
+// withDefaults resolves the zero spec to the frugal protocol.
+func (s ProtocolSpec) withDefaults() ProtocolSpec {
+	if s.Name == "" {
+		s.Name = core.ProtocolName
+	}
+	return s
+}
+
+// CoreTuning carries the frugal protocol's tuning knobs (zero = paper
+// defaults); it is the registry params type of the "frugal" protocol,
+// re-exported for terse scenario definitions (see FrugalSpec).
+type CoreTuning = core.Tuning
+
+// FrugalSpec is the enum-compatible constructor for the paper's
+// protocol: a spec running frugal with the given tuning.
+func FrugalSpec(t CoreTuning) ProtocolSpec {
+	return ProtocolSpec{Name: core.ProtocolName, Params: t}
+}
+
+// ParseProtocol resolves a registry name into a default-params spec.
+// It reports false for unregistered names; ProtocolNames lists the
+// valid ones.
+func ParseProtocol(s string) (ProtocolSpec, bool) {
+	if _, ok := proto.LookupProtocol(s); !ok {
+		return ProtocolSpec{}, false
+	}
+	return ProtocolSpec{Name: s}, true
+}
+
+// ProtocolNames returns the sorted registered protocol names (the
+// proto registry's catalog, re-exported for the CLIs).
+func ProtocolNames() []string { return proto.ProtocolNames() }
 
 // MobilityKind selects the mobility model.
 type MobilityKind int
@@ -193,38 +193,6 @@ func (m MobilitySpec) validateGraphKind() error {
 	return nil
 }
 
-// CoreTuning carries the frugal protocol's tuning knobs (zero = paper
-// defaults).
-type CoreTuning struct {
-	X            float64
-	HB2BO        float64
-	HB2NGC       float64
-	HBDelay      time.Duration
-	HBLowerBound time.Duration
-	HBUpperBound time.Duration
-	MaxEvents    int
-	MaxNeighbors int
-	// UseSpeed feeds the node's true speed into heartbeats (the paper's
-	// tachometer optimization).
-	UseSpeed bool
-
-	// Ablation knobs, passed through to core.Config (zero = paper
-	// design).
-	DisableSuppression bool
-	DisableAdaptiveHB  bool
-	FixedBackoff       bool
-	BlindPush          bool
-	GCPolicy           core.GCPolicy
-}
-
-// StormTuning carries the broadcast-storm schemes' knobs (zero = the
-// flood package defaults: P 0.6, threshold 3, assessment 500 ms).
-type StormTuning struct {
-	P                float64
-	CounterThreshold int
-	AssessmentDelay  time.Duration
-}
-
 // Publication schedules one event.
 type Publication struct {
 	// Offset from the end of warm-up.
@@ -268,20 +236,15 @@ type Scenario struct {
 	Nodes int
 	Seed  int64
 
-	Protocol ProtocolKind
+	// Protocol selects and tunes the protocol by registry name; the
+	// zero spec runs the frugal protocol with default tuning.
+	Protocol ProtocolSpec
 	Mobility MobilitySpec
 	// MAC configures the medium; mac.DefaultConfig(range) is typical.
 	MAC mac.Config
 	// Sizes is the bandwidth-accounting model (paper defaults when
 	// zero).
 	Sizes event.SizeModel
-	// Core tunes the frugal protocol.
-	Core CoreTuning
-	// FloodPeriod is the baselines' rebroadcast period (default 1 s).
-	FloodPeriod time.Duration
-	// Storm tunes the broadcast-storm baselines (zero = their
-	// defaults).
-	Storm StormTuning
 
 	// EventTopic is the topic events are published on (default
 	// ".app.news"). SubscriberFraction in [0,1] of nodes subscribe to
@@ -323,9 +286,7 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Sizes == (event.SizeModel{}) {
 		s.Sizes = event.DefaultSizeModel()
 	}
-	if s.FloodPeriod == 0 {
-		s.FloodPeriod = time.Second
-	}
+	s.Protocol = s.Protocol.withDefaults()
 	if s.Mobility.Kind == HighwayConvoy {
 		// Filled here (not in the runner) so Validate sees the effective
 		// convoy values — a partially specified cruise range fails at
@@ -359,6 +320,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.Warmup < 0 {
 		return errors.New("netsim: negative Warmup")
+	}
+	if err := proto.CheckParams(s.Protocol.withDefaults().Name, s.Protocol.Params); err != nil {
+		return fmt.Errorf("netsim: %w", err)
 	}
 	if err := s.MAC.Validate(); err != nil {
 		return err

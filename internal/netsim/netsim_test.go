@@ -20,7 +20,7 @@ func denseStatic(seed int64) Scenario {
 			Area: geo.NewRect(200, 200),
 		},
 		MAC:                mac.DefaultConfig(340),
-		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second}),
 		SubscriberFraction: 1.0,
 		Publications: []Publication{
 			{Offset: 2 * time.Second, Publisher: -1, Validity: 60 * time.Second},
@@ -142,7 +142,7 @@ func TestFrugalBeatsFloodingOnTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	fl := base
-	fl.Protocol = FloodSimple
+	fl.Protocol = ProtocolSpec{Name: "simple-flooding"}
 	flooded, err := Run(fl)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestSparseMobileNetworkUsesMobility(t *testing.T) {
 			Pause:    time.Second,
 		},
 		MAC:                mac.DefaultConfig(340),
-		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second}),
 		SubscriberFraction: 1.0,
 		Publications: []Publication{
 			{Offset: 0, Publisher: 0, Validity: 150 * time.Second},
@@ -288,7 +288,7 @@ func TestCityScenarioRuns(t *testing.T) {
 			DestPause: 5 * time.Second,
 		},
 		MAC:                mac.DefaultConfig(44),
-		Core:               CoreTuning{HBDelay: 4 * time.Second, HBUpperBound: time.Second, UseSpeed: true},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: 4 * time.Second, HBUpperBound: time.Second, UseSpeed: true}),
 		SubscriberFraction: 1.0,
 		Publications: []Publication{
 			{Offset: 0, Publisher: 0, Validity: 150 * time.Second},
@@ -327,10 +327,12 @@ func TestMeasurementWindowExcludesWarmup(t *testing.T) {
 }
 
 func TestFloodVariantsRun(t *testing.T) {
-	for _, k := range []ProtocolKind{FloodSimple, FloodInterest, FloodNeighbors} {
-		t.Run(k.String(), func(t *testing.T) {
+	for _, name := range []string{
+		"simple-flooding", "interests-aware-flooding", "neighbors-interests-flooding",
+	} {
+		t.Run(name, func(t *testing.T) {
 			sc := denseStatic(15)
-			sc.Protocol = k
+			sc.Protocol = ProtocolSpec{Name: name}
 			sc.Measure = 30 * time.Second
 			sc.Publications = []Publication{
 				{Offset: time.Second, Publisher: -1, Validity: 25 * time.Second},
@@ -340,7 +342,7 @@ func TestFloodVariantsRun(t *testing.T) {
 				t.Fatal(err)
 			}
 			if res.Reliability() != 1.0 {
-				t.Fatalf("%v reliability = %v in dense static net", k, res.Reliability())
+				t.Fatalf("%v reliability = %v in dense static net", name, res.Reliability())
 			}
 		})
 	}

@@ -100,18 +100,53 @@ func TestRegisterScenarioRejectsBadDefs(t *testing.T) {
 }
 
 func TestParseProtocolRoundTrip(t *testing.T) {
-	kinds := []ProtocolKind{
-		Frugal, FloodSimple, FloodInterest, FloodNeighbors,
-		StormProbabilistic, StormCounter,
+	names := ProtocolNames()
+	// The historical six plus the gossip baseline must all be wired in.
+	for _, want := range []string{
+		"frugal", "simple-flooding", "interests-aware-flooding",
+		"neighbors-interests-flooding", "probabilistic-broadcast",
+		"counter-based-broadcast", "gossip-pushpull",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("protocol %q not registered (have %v)", want, names)
+		}
 	}
-	for _, k := range kinds {
-		got, ok := ParseProtocol(k.String())
-		if !ok || got != k {
-			t.Fatalf("ParseProtocol(%q) = %v, %v", k.String(), got, ok)
+	for _, n := range names {
+		spec, ok := ParseProtocol(n)
+		if !ok || spec.String() != n {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", n, spec, ok)
 		}
 	}
 	if _, ok := ParseProtocol("nope"); ok {
 		t.Fatal("ParseProtocol(nope) succeeded")
+	}
+	// The zero spec is the frugal protocol.
+	if (ProtocolSpec{}).String() != "frugal" {
+		t.Fatalf("zero spec = %q, want frugal", (ProtocolSpec{}).String())
+	}
+}
+
+func TestScenarioValidateRejectsBadProtocolSpec(t *testing.T) {
+	sc := denseStatic(1)
+	sc.Protocol = ProtocolSpec{Name: "no-such-protocol"}
+	if err := sc.withDefaults().Validate(); err == nil {
+		t.Fatal("unknown protocol name accepted")
+	}
+	// Wrong params type for a registered name.
+	sc.Protocol = ProtocolSpec{Name: "simple-flooding", Params: CoreTuning{}}
+	if err := sc.withDefaults().Validate(); err == nil {
+		t.Fatal("mismatched params type accepted")
+	}
+	// Invalid params of the right type.
+	sc.Protocol = FrugalSpec(CoreTuning{HBDelay: -time.Second})
+	if err := sc.withDefaults().Validate(); err == nil {
+		t.Fatal("invalid frugal tuning accepted")
 	}
 }
 

@@ -3,9 +3,9 @@ package netsim
 import (
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/mac"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/topic"
 )
@@ -42,7 +42,7 @@ func (o EventOutcome) Reliability() float64 {
 type NodeResult struct {
 	ID         event.NodeID
 	Subscribed bool
-	Proto      core.Stats
+	Proto      proto.Stats
 	MAC        mac.Counters
 }
 

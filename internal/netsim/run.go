@@ -3,34 +3,15 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
-	"time"
+	"reflect"
 
-	"repro/internal/core"
 	"repro/internal/event"
-	"repro/internal/flood"
 	"repro/internal/geo"
 	"repro/internal/mac"
 	"repro/internal/mobility"
+	"repro/internal/proto"
 	"repro/internal/sim"
-	"repro/internal/topic"
 	"repro/internal/trace"
-)
-
-// disseminator is the protocol surface the runner needs; both
-// core.Protocol and flood.Protocol satisfy it.
-type disseminator interface {
-	Subscribe(topic.Topic) error
-	Unsubscribe(topic.Topic)
-	Publish(topic.Topic, []byte, time.Duration) (event.ID, error)
-	HandleMessage(event.Message) error
-	Stats() core.Stats
-	Stop()
-}
-
-var (
-	_ disseminator = (*core.Protocol)(nil)
-	_ disseminator = (*flood.Protocol)(nil)
-	_ disseminator = (*flood.Storm)(nil)
 )
 
 // node is one simulated process: mobility + MAC port + protocol.
@@ -38,37 +19,38 @@ type node struct {
 	id    event.NodeID
 	model mobility.Model
 	port  *mac.Port
-	proto disseminator
+	proto proto.Disseminator
 	// subscribed reports subscription to the scenario's EventTopic.
 	subscribed bool
 	// down is true while crashed; received frames are discarded.
 	down bool
 	// prevStats accumulates counters of crashed incarnations.
-	prevStats core.Stats
+	prevStats proto.Stats
 }
 
 // totalStats merges the live protocol's counters with those of crashed
 // incarnations.
-func (n *node) totalStats() core.Stats {
+func (n *node) totalStats() proto.Stats {
 	s := n.proto.Stats()
 	return addStats(n.prevStats, s)
 }
 
-func addStats(a, b core.Stats) core.Stats {
-	return core.Stats{
-		HeartbeatsSent: a.HeartbeatsSent + b.HeartbeatsSent,
-		IDListsSent:    a.IDListsSent + b.IDListsSent,
-		EventMsgsSent:  a.EventMsgsSent + b.EventMsgsSent,
-		EventsSent:     a.EventsSent + b.EventsSent,
-		EventsReceived: a.EventsReceived + b.EventsReceived,
-		Delivered:      a.Delivered + b.Delivered,
-		Duplicates:     a.Duplicates + b.Duplicates,
-		Parasites:      a.Parasites + b.Parasites,
-		ExpiredDrops:   a.ExpiredDrops + b.ExpiredDrops,
-		Published:      a.Published + b.Published,
-		TableEvictions: a.TableEvictions + b.TableEvictions,
-		NeighborsGCed:  a.NeighborsGCed + b.NeighborsGCed,
+// statsOp combines two Stats field-wise. Reflection keeps the
+// crash-merge and warm-up-window accounting in lock-step with
+// proto.Stats: a counter added for a new protocol is picked up here
+// automatically instead of silently reading zero in scenario tables.
+func statsOp(a, b proto.Stats, op func(x, y uint64) uint64) proto.Stats {
+	var out proto.Stats
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	vo := reflect.ValueOf(&out).Elem()
+	for i := 0; i < va.NumField(); i++ {
+		vo.Field(i).SetUint(op(va.Field(i).Uint(), vb.Field(i).Uint()))
 	}
+	return out
+}
+
+func addStats(a, b proto.Stats) proto.Stats {
+	return statsOp(a, b, func(x, y uint64) uint64 { return x + y })
 }
 
 // locator adapts the mobility models to the MAC medium.
@@ -98,14 +80,6 @@ func (t portTransport) Broadcast(m event.Message) {
 	t.port.Broadcast(m, size)
 }
 
-// simSched adapts the engine to the protocols' Scheduler interface.
-type simSched struct{ eng *sim.Engine }
-
-func (s simSched) Now() time.Duration { return s.eng.Now().Duration() }
-func (s simSched) After(d time.Duration, fn func()) core.Timer {
-	return s.eng.After(d, fn)
-}
-
 // runner holds the mutable state of one simulation.
 type runner struct {
 	sc    Scenario
@@ -114,13 +88,21 @@ type runner struct {
 	// graph is the street network shared by every city-section node of
 	// this run (built once instead of per node).
 	graph *mobility.Graph
+	// subIdx caches the EventTopic subscribers' node indices; the
+	// assignment is fixed at build time, so anonymous publications
+	// (Publisher -1) draw from this instead of rescanning all nodes.
+	subIdx []int
 
 	deliveries map[event.ID]map[event.NodeID]sim.Time
 	records    []DeliveryRecord
 	published  []PublishedEvent
 
-	snapProto []core.Stats
+	snapProto []proto.Stats
 	snapMAC   []mac.Counters
+
+	// err records a mid-run failure (e.g. a protocol rebuild error on
+	// recovery); it halts the engine and fails the Run.
+	err error
 }
 
 // Run executes the scenario and returns its measurements.
@@ -140,7 +122,19 @@ func Run(sc Scenario) (*Result, error) {
 	r.schedule()
 	end := sim.At(sc.Warmup + sc.Measure)
 	r.eng.RunUntil(end)
+	if r.err != nil {
+		return nil, r.err
+	}
 	return r.collect(), nil
+}
+
+// fail aborts the run: deterministic misconfiguration discovered
+// mid-simulation must surface as a Run error, not vanish.
+func (r *runner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.eng.Halt()
 }
 
 // build creates mobility models, the medium and the protocol instances.
@@ -190,6 +184,15 @@ func (r *runner) build() error {
 	numSubs := int(float64(sc.Nodes)*sc.SubscriberFraction + 0.5)
 	for i, idx := range order {
 		r.nodes[idx].subscribed = i < numSubs
+	}
+	// The assignment never changes after build (crashes keep their
+	// flag; Resubscriptions alter protocol state, not this roster), so
+	// cache the subscriber indices for anonymous publications instead
+	// of rescanning all nodes per publish.
+	for i, n := range r.nodes {
+		if n.subscribed {
+			r.subIdx = append(r.subIdx, i)
+		}
 	}
 	for _, n := range r.nodes {
 		proto, err := r.buildProtocol(n)
@@ -301,71 +304,26 @@ func (r *runner) macConfig() mac.Config {
 	return cfg
 }
 
-func (r *runner) buildProtocol(n *node) (disseminator, error) {
+// buildProtocol constructs one node's protocol instance through the
+// proto registry: the scenario's ProtocolSpec names the factory, and
+// the runner supplies the per-node environment (scheduler, transport,
+// private RNG stream, delivery hook, speed source).
+func (r *runner) buildProtocol(n *node) (proto.Disseminator, error) {
 	sc := r.sc
-	tr := portTransport{port: n.port, sizes: sc.Sizes, r: r}
-	sched := simSched{eng: r.eng}
-	onDeliver := r.deliverHook(n.id)
-	protoRng := rand.New(rand.NewSource(sc.Seed*7919 + int64(n.id)*104729 + 13))
-	if sc.Protocol == Frugal {
-		cfg := core.Config{
-			ID:                 n.id,
-			X:                  sc.Core.X,
-			HB2BO:              sc.Core.HB2BO,
-			HB2NGC:             sc.Core.HB2NGC,
-			HBDelay:            sc.Core.HBDelay,
-			HBLowerBound:       sc.Core.HBLowerBound,
-			HBUpperBound:       sc.Core.HBUpperBound,
-			MaxEvents:          sc.Core.MaxEvents,
-			MaxNeighbors:       sc.Core.MaxNeighbors,
-			OnDeliver:          onDeliver,
-			Rand:               protoRng,
-			DisableSuppression: sc.Core.DisableSuppression,
-			DisableAdaptiveHB:  sc.Core.DisableAdaptiveHB,
-			FixedBackoff:       sc.Core.FixedBackoff,
-			BlindPush:          sc.Core.BlindPush,
-			GCPolicy:           sc.Core.GCPolicy,
-		}
-		if sc.Core.UseSpeed {
-			model := n.model
-			eng := r.eng
-			cfg.Speed = func() float64 { return model.Speed(eng.Now()) }
-		}
-		return core.New(cfg, sched, tr)
-	}
-	if sc.Protocol == StormProbabilistic || sc.Protocol == StormCounter {
-		scheme := flood.Probabilistic
-		if sc.Protocol == StormCounter {
-			scheme = flood.CounterBased
-		}
-		return flood.NewStorm(flood.StormConfig{
-			ID:               n.id,
-			Scheme:           scheme,
-			P:                sc.Storm.P,
-			CounterThreshold: sc.Storm.CounterThreshold,
-			AssessmentDelay:  sc.Storm.AssessmentDelay,
-			OnDeliver:        onDeliver,
-			Rand:             protoRng,
-		}, sched, tr)
-	}
-	var variant flood.Variant
-	switch sc.Protocol {
-	case FloodSimple:
-		variant = flood.Simple
-	case FloodInterest:
-		variant = flood.InterestAware
-	case FloodNeighbors:
-		variant = flood.NeighborsInterest
-	default:
-		return nil, fmt.Errorf("netsim: unknown protocol %v", sc.Protocol)
-	}
-	return flood.New(flood.Config{
+	model, eng := n.model, r.eng
+	env := proto.Env{
 		ID:        n.id,
-		Variant:   variant,
-		Period:    sc.FloodPeriod,
-		OnDeliver: onDeliver,
-		Rand:      protoRng,
-	}, sched, tr)
+		Sched:     proto.EngineScheduler{Eng: r.eng},
+		Transport: portTransport{port: n.port, sizes: sc.Sizes, r: r},
+		Rand:      rand.New(rand.NewSource(sc.Seed*7919 + int64(n.id)*104729 + 13)),
+		OnDeliver: r.deliverHook(n.id),
+		Speed:     func() float64 { return model.Speed(eng.Now()) },
+	}
+	d, err := proto.Build(sc.Protocol.Name, sc.Protocol.Params, env)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: node %v: %w", n.id, err)
+	}
+	return d, nil
 }
 
 // deliverHook records first-delivery times per (event, node).
@@ -436,7 +394,7 @@ func (r *runner) schedule() {
 }
 
 func (r *runner) snapshot() {
-	r.snapProto = make([]core.Stats, len(r.nodes))
+	r.snapProto = make([]proto.Stats, len(r.nodes))
 	r.snapMAC = make([]mac.Counters, len(r.nodes))
 	for i, n := range r.nodes {
 		r.snapProto[i] = n.totalStats()
@@ -447,11 +405,10 @@ func (r *runner) snapshot() {
 func (r *runner) publish(p Publication, rng *rand.Rand) {
 	idx := p.Publisher
 	if idx < 0 {
-		subs := r.subscriberIndices()
-		if len(subs) == 0 {
+		if len(r.subIdx) == 0 {
 			return // nobody to publish; recorded as zero events
 		}
-		idx = subs[rng.Intn(len(subs))]
+		idx = r.subIdx[rng.Intn(len(r.subIdx))]
 	}
 	n := r.nodes[idx]
 	if n.down {
@@ -480,16 +437,6 @@ func (r *runner) publish(p Publication, rng *rand.Rand) {
 	})
 }
 
-func (r *runner) subscriberIndices() []int {
-	var out []int
-	for i, n := range r.nodes {
-		if n.subscribed {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
 func (r *runner) crash(idx int) {
 	n := r.nodes[idx]
 	if n.down {
@@ -505,11 +452,15 @@ func (r *runner) recover(idx int) {
 	if !n.down {
 		return
 	}
-	proto, err := r.buildProtocol(n)
+	p, err := r.buildProtocol(n)
 	if err != nil {
+		// Deterministic misconfiguration, not a runtime event: fail the
+		// run instead of leaving the node silently down forever.
+		// buildProtocol's wrap already names the node.
+		r.fail(fmt.Errorf("recovering crashed node: %w", err))
 		return
 	}
-	n.proto = proto
+	n.proto = p
 	n.down = false
 	tp := r.sc.DecoyTopic
 	if n.subscribed {
@@ -544,21 +495,8 @@ func (r *runner) collect() *Result {
 	return res
 }
 
-func subStats(a, b core.Stats) core.Stats {
-	return core.Stats{
-		HeartbeatsSent: a.HeartbeatsSent - b.HeartbeatsSent,
-		IDListsSent:    a.IDListsSent - b.IDListsSent,
-		EventMsgsSent:  a.EventMsgsSent - b.EventMsgsSent,
-		EventsSent:     a.EventsSent - b.EventsSent,
-		EventsReceived: a.EventsReceived - b.EventsReceived,
-		Delivered:      a.Delivered - b.Delivered,
-		Duplicates:     a.Duplicates - b.Duplicates,
-		Parasites:      a.Parasites - b.Parasites,
-		ExpiredDrops:   a.ExpiredDrops - b.ExpiredDrops,
-		Published:      a.Published - b.Published,
-		TableEvictions: a.TableEvictions - b.TableEvictions,
-		NeighborsGCed:  a.NeighborsGCed - b.NeighborsGCed,
-	}
+func subStats(a, b proto.Stats) proto.Stats {
+	return statsOp(a, b, func(x, y uint64) uint64 { return x - y })
 }
 
 func subMAC(a, b mac.Counters) mac.Counters {

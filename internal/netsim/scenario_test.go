@@ -59,7 +59,7 @@ func TestCourierBridgesPartition(t *testing.T) {
 		},
 		CustomModels:       models,
 		MAC:                mac.DefaultConfig(339),
-		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second}),
 		SubscriberFraction: 1.0,
 		Publications: []Publication{
 			{Offset: 0, Publisher: 0, Validity: 240 * time.Second},
@@ -110,7 +110,7 @@ func TestResubscriptionReceivesEvents(t *testing.T) {
 			Area: geo.NewRect(200, 200),
 		},
 		MAC:                mac.DefaultConfig(339),
-		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second}),
 		SubscriberFraction: 0.5,
 		Publications: []Publication{
 			{Offset: 5 * time.Second, Publisher: -1, Validity: 120 * time.Second},
@@ -164,7 +164,7 @@ func TestUnsubscribeStopsDeliveries(t *testing.T) {
 			Area: geo.NewRect(150, 150),
 		},
 		MAC:                mac.DefaultConfig(339),
-		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second}),
 		SubscriberFraction: 1.0,
 		Resubscriptions: []Resubscription{
 			{Node: 2, At: 5 * time.Second, Topic: topic.MustParse(".app.news"), Unsubscribe: true},
@@ -200,7 +200,7 @@ func TestDeliveryLatencies(t *testing.T) {
 			Area: geo.NewRect(200, 200),
 		},
 		MAC:                mac.DefaultConfig(339),
-		Core:               CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second},
+		Protocol:           FrugalSpec(CoreTuning{HBDelay: time.Second, HBUpperBound: time.Second}),
 		SubscriberFraction: 1.0,
 		Publications: []Publication{
 			{Offset: 2 * time.Second, Publisher: 0, Validity: 60 * time.Second},

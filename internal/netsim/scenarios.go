@@ -29,7 +29,7 @@ func init() {
 				DestPause: 5 * time.Second,
 			},
 			MAC:                mac.DefaultConfig(44),
-			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 			SubscriberFraction: 1.0,
 			Publications: []Publication{
 				{Publisher: -1, Validity: 150 * time.Second},
@@ -52,7 +52,7 @@ func init() {
 				Pause:    time.Second,
 			},
 			MAC:                mac.DefaultConfig(339),
-			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 			SubscriberFraction: 0.8,
 			Publications: []Publication{
 				{Publisher: -1, Validity: 120 * time.Second},
@@ -74,7 +74,7 @@ func init() {
 				DestPause:   10 * time.Second,
 			},
 			MAC:                mac.DefaultConfig(100),
-			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 			SubscriberFraction: 0.8,
 			Publications: []Publication{
 				{Offset: 0, Publisher: -1, Validity: 120 * time.Second},
@@ -98,7 +98,7 @@ func init() {
 				DestPause:   10 * time.Second,
 			},
 			MAC:                mac.DefaultConfig(100),
-			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 			SubscriberFraction: 0.8,
 			Publications: []Publication{
 				{Offset: 0, Publisher: -1, Validity: 120 * time.Second},
@@ -126,7 +126,7 @@ func init() {
 				RampPause: 5 * time.Second,
 			},
 			MAC:                mac.DefaultConfig(250),
-			Core:               CoreTuning{HBUpperBound: time.Second, UseSpeed: true},
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
 			SubscriberFraction: 0.9,
 			Publications: []Publication{
 				{Offset: 0, Publisher: -1, Validity: 90 * time.Second},

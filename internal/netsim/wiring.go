@@ -1,0 +1,10 @@
+package netsim
+
+// The runner resolves protocols by name through the proto registry;
+// this blank import wires the built-in protocol packages in. The only
+// other protocol-package dependency in netsim is netsim.go's type
+// re-export of the frugal tuning (CoreTuning = core.Tuning, for terse
+// declarative templates) — dispatch never names a concrete package,
+// and a new protocol needs its own package plus a blank-import line in
+// internal/proto/all; nothing in netsim changes.
+import _ "repro/internal/proto/all"

@@ -1,0 +1,14 @@
+// Package all wires every built-in protocol into the proto registry via
+// blank imports. The simulation runner (internal/netsim) imports it
+// once; anything reachable from netsim — the exp sweep families, both
+// CLIs, the conformance suite — then resolves protocols purely by name.
+//
+// Adding a protocol is a new package registering itself in init plus
+// one blank-import line here; no dispatch code anywhere changes.
+package all
+
+import (
+	_ "repro/internal/core"   // frugal
+	_ "repro/internal/flood"  // the three floods + the two storm schemes
+	_ "repro/internal/gossip" // gossip-pushpull
+)

@@ -1,0 +1,145 @@
+package proto
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Params carries a protocol's scenario-level tuning. Each protocol
+// defines one concrete params type (its registered schema); a nil
+// Params selects the protocol's defaults. Params values must be plain
+// data — comparable or at least copy-safe — because scenarios embedding
+// them are copied freely by the experiment harness.
+type Params interface {
+	// Validate reports configuration errors. The zero value of a params
+	// type must validate (it selects the protocol's defaults).
+	Validate() error
+}
+
+// Factory builds one protocol instance for one node from its params and
+// the runner-supplied environment. The registry guarantees p has the
+// definition's schema type (or is the schema's zero value when the spec
+// carried nil).
+type Factory func(p Params, env Env) (Disseminator, error)
+
+// Definition is a named, registered protocol: the registry key, a
+// one-line catalog description, the params schema (the zero value of
+// the concrete params type this protocol accepts) and the per-node
+// factory. It mirrors netsim.ScenarioDef: registering a definition
+// makes the protocol reachable from scenario specs, the exp "scenarios"
+// family, cmd/experiments -list/-proto and cmd/frugalsim -protocol.
+type Definition struct {
+	// Name is the registry key (e.g. "frugal", "gossip-pushpull").
+	Name string
+	// Description is a one-line summary for the catalog listing.
+	Description string
+	// Params is the schema: the zero value of the params type this
+	// protocol accepts. Specs carrying a different dynamic type are
+	// rejected at validation time.
+	Params Params
+	// New builds one node instance.
+	New Factory
+}
+
+var registry = struct {
+	mu   sync.RWMutex
+	defs map[string]Definition
+}{defs: make(map[string]Definition)}
+
+// RegisterProtocol adds a definition to the registry. It panics on a
+// duplicate name, missing metadata, or an invalid schema (registration
+// happens at init time; a broken definition should fail loudly, not at
+// first use).
+func RegisterProtocol(d Definition) {
+	if d.Name == "" || d.Description == "" {
+		panic(fmt.Sprintf("proto: protocol %q registered without name or description", d.Name))
+	}
+	if d.New == nil || d.Params == nil {
+		panic(fmt.Sprintf("proto: protocol %q registered without factory or params schema", d.Name))
+	}
+	if err := d.Params.Validate(); err != nil {
+		panic(fmt.Sprintf("proto: protocol %q schema zero value invalid: %v", d.Name, err))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.defs[d.Name]; dup {
+		panic(fmt.Sprintf("proto: protocol %q registered twice", d.Name))
+	}
+	registry.defs[d.Name] = d
+}
+
+// Protocols returns every registered definition, sorted by name.
+func Protocols() []Definition {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Definition, 0, len(registry.defs))
+	for _, d := range registry.defs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ProtocolNames returns the sorted registered names.
+func ProtocolNames() []string {
+	defs := Protocols()
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// LookupProtocol finds a definition by name.
+func LookupProtocol(name string) (Definition, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	d, ok := registry.defs[name]
+	return d, ok
+}
+
+// resolve is the single code path behind CheckParams and Build: it
+// looks the name up and type-checks params against the registered
+// schema, substituting the schema's zero value (the protocol's
+// defaults) when params is nil.
+func resolve(name string, p Params) (Definition, Params, error) {
+	def, ok := LookupProtocol(name)
+	if !ok {
+		return Definition{}, nil, fmt.Errorf("proto: unknown protocol %q (registered: %s)",
+			name, strings.Join(ProtocolNames(), ", "))
+	}
+	if p == nil {
+		return def, def.Params, nil
+	}
+	if got, want := reflect.TypeOf(p), reflect.TypeOf(def.Params); got != want {
+		return Definition{}, nil, fmt.Errorf("proto: protocol %q params are %v, want %v", name, got, want)
+	}
+	return def, p, nil
+}
+
+// CheckParams validates a (name, params) spec against the registry:
+// the name must be registered, and params — when non-nil — must have
+// the registered schema type and validate. This is what
+// netsim.Scenario.Validate calls for its ProtocolSpec.
+func CheckParams(name string, p Params) error {
+	_, resolved, err := resolve(name, p)
+	if err != nil {
+		return err
+	}
+	return resolved.Validate()
+}
+
+// Build resolves name and constructs one instance: the factory receives
+// p, or the schema's zero value when p is nil. Callers that validated
+// the spec earlier (netsim does, at Scenario.Validate time) only see
+// errors from the factory itself.
+func Build(name string, p Params, env Env) (Disseminator, error) {
+	def, resolved, err := resolve(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return def.New(resolved, env)
+}

@@ -1,0 +1,85 @@
+package proto_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+
+	_ "repro/internal/proto/all"
+)
+
+func TestRegistryCatalog(t *testing.T) {
+	names := proto.ProtocolNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ProtocolNames not sorted: %v", names)
+	}
+	if len(names) != len(proto.Protocols()) {
+		t.Fatal("ProtocolNames and Protocols disagree")
+	}
+	for _, d := range proto.Protocols() {
+		if d.Name == "" || d.Description == "" || d.Params == nil || d.New == nil {
+			t.Fatalf("catalog metadata incomplete: %+v", d)
+		}
+	}
+	if _, ok := proto.LookupProtocol("gossip-pushpull"); !ok {
+		t.Fatal("gossip-pushpull not registered")
+	}
+	if _, ok := proto.LookupProtocol("nope"); ok {
+		t.Fatal("LookupProtocol(nope) succeeded")
+	}
+}
+
+func TestCheckParams(t *testing.T) {
+	if err := proto.CheckParams("frugal", nil); err != nil {
+		t.Fatalf("nil params rejected: %v", err)
+	}
+	if err := proto.CheckParams("frugal", core.Tuning{HBUpperBound: time.Second}); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	if err := proto.CheckParams("nope", nil); err == nil {
+		t.Fatal("unknown name accepted")
+	} else if !strings.Contains(err.Error(), "frugal") {
+		t.Fatalf("unknown-name error does not list registered ids: %v", err)
+	}
+	if err := proto.CheckParams("simple-flooding", core.Tuning{}); err == nil {
+		t.Fatal("mismatched params type accepted")
+	}
+	if err := proto.CheckParams("frugal", core.Tuning{HBDelay: -time.Second}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestBuildUnknownAndMismatched(t *testing.T) {
+	if _, err := proto.Build("nope", nil, proto.Env{}); err == nil {
+		t.Fatal("Build(nope) succeeded")
+	}
+	if _, err := proto.Build("simple-flooding", core.Tuning{}, proto.Env{}); err == nil {
+		t.Fatal("Build with mismatched params succeeded")
+	}
+}
+
+func TestRegisterProtocolRejectsBadDefs(t *testing.T) {
+	mustPanic := func(name string, d proto.Definition) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: RegisterProtocol did not panic", name)
+			}
+		}()
+		proto.RegisterProtocol(d)
+	}
+	factory := func(proto.Params, proto.Env) (proto.Disseminator, error) { return nil, nil }
+	// Duplicate of an existing registration: rejected before insertion,
+	// so the registry the other tests see is untouched.
+	mustPanic("duplicate", proto.Definition{
+		Name: "frugal", Description: "dup", Params: core.Tuning{}, New: factory,
+	})
+	mustPanic("unnamed", proto.Definition{Description: "x", Params: core.Tuning{}, New: factory})
+	mustPanic("no description", proto.Definition{Name: "x", Params: core.Tuning{}, New: factory})
+	mustPanic("no factory", proto.Definition{Name: "x", Description: "x", Params: core.Tuning{}})
+	mustPanic("no schema", proto.Definition{Name: "x", Description: "x", New: factory})
+}

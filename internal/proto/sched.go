@@ -1,0 +1,20 @@
+package proto
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// EngineScheduler adapts the discrete-event engine to the Scheduler
+// interface. The simulation runner and the protocol test harnesses
+// share it; real deployments supply a wall-clock Scheduler instead.
+type EngineScheduler struct{ Eng *sim.Engine }
+
+// Now implements Scheduler.
+func (s EngineScheduler) Now() time.Duration { return s.Eng.Now().Duration() }
+
+// After implements Scheduler.
+func (s EngineScheduler) After(d time.Duration, fn func()) Timer {
+	return s.Eng.After(d, fn)
+}

@@ -19,6 +19,12 @@ type Engine struct {
 	rng   *rand.Rand
 	halt  bool
 
+	// stopped counts queue entries cancelled via Timer.Stop but not yet
+	// removed; when they exceed half the queue the heap is compacted
+	// (see maybeCompact), so churn-heavy runs that stop timers en masse
+	// do not grow the heap monotonically.
+	stopped int
+
 	// Executed counts callbacks that have run; useful for progress
 	// accounting and loop-detection in tests.
 	executed uint64
@@ -47,6 +53,7 @@ func (e *Engine) NewRand() *rand.Rand {
 
 // Timer is a handle to a scheduled callback.
 type Timer struct {
+	e  *Engine
 	it *item
 }
 
@@ -58,6 +65,8 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.it.stopped = true
+	t.e.stopped++
+	t.e.maybeCompact()
 	return true
 }
 
@@ -76,7 +85,7 @@ func (e *Engine) At(at Time, fn func()) *Timer {
 	it := &item{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, it)
-	return &Timer{it: it}
+	return &Timer{e: e, it: it}
 }
 
 // After schedules fn to run d from now. Negative d behaves like zero.
@@ -88,8 +97,41 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 // callback returns. Pending events remain queued.
 func (e *Engine) Halt() { e.halt = true }
 
-// Pending returns the number of queued (possibly stopped) callbacks.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live queued callbacks: scheduled, not
+// yet fired and not stopped. Stopped timers never count, whether the
+// heap has compacted them away yet or not.
+func (e *Engine) Pending() int { return len(e.queue) - e.stopped }
+
+// compactMin is the queue size below which stopped entries are left for
+// the pop path to discard: rebuilding a tiny heap buys nothing.
+const compactMin = 64
+
+// maybeCompact rebuilds the heap without its stopped entries once they
+// outnumber the live ones. Cost is O(n) against the O(n) space the
+// stopped entries would otherwise occupy until naturally popped —
+// churn-heavy runs (mass Protocol.Stop on crashes, suppression storms)
+// previously grew the heap monotonically.
+func (e *Engine) maybeCompact() {
+	if len(e.queue) < compactMin || e.stopped*2 <= len(e.queue) {
+		return
+	}
+	live := e.queue[:0]
+	for _, it := range e.queue {
+		if it.stopped {
+			it.fn = nil
+			it.index = -1
+			continue
+		}
+		it.index = len(live)
+		live = append(live, it)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	heap.Init(&e.queue)
+	e.stopped = 0
+}
 
 // Step runs the single earliest pending callback, advancing the clock to
 // its instant. It reports whether any callback ran.
@@ -99,6 +141,7 @@ func (e *Engine) Step() bool {
 		fn := it.fn
 		it.fn = nil
 		if it.stopped {
+			e.stopped--
 			continue
 		}
 		e.now = it.at
@@ -138,6 +181,7 @@ func (e *Engine) peek() (Time, bool) {
 		if e.queue[0].stopped {
 			it := heap.Pop(&e.queue).(*item)
 			it.fn = nil
+			e.stopped--
 			continue
 		}
 		return e.queue[0].at, true

@@ -272,6 +272,103 @@ func TestQueueOrderingProperty(t *testing.T) {
 	}
 }
 
+// TestPendingCountsLiveCallbacks pins Pending's semantics: it counts
+// live (scheduled, unfired, unstopped) callbacks only, independent of
+// whether the heap has compacted stopped entries away yet.
+func TestPendingCountsLiveCallbacks(t *testing.T) {
+	e := New(1)
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		timers[i].Stop()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after 4 stops = %d, want 6 (stopped timers must not count)", e.Pending())
+	}
+	timers[0].Stop() // double-stop must not double-count
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after double stop = %d, want 6", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+	if e.Executed() != 6 {
+		t.Fatalf("Executed = %d, want 6", e.Executed())
+	}
+}
+
+// TestStoppedTimerCompaction exercises the lazy heap compaction: when
+// stopped entries exceed half the queue the engine drops them eagerly
+// instead of carrying them until they pop, and the surviving callbacks
+// still run in order.
+func TestStoppedTimerCompaction(t *testing.T) {
+	e := New(1)
+	const n = 4 * compactMin
+	var timers []*Timer
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.After(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	// Stop three quarters: crosses the stopped > live threshold.
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			timers[i].Stop()
+		}
+	}
+	if got := e.Pending(); got != n/4 {
+		t.Fatalf("Pending = %d, want %d", got, n/4)
+	}
+	// Compaction must have physically shrunk the queue, not just
+	// relabeled entries.
+	if len(e.queue) > n/2 {
+		t.Fatalf("queue holds %d entries after mass stop, want compaction below %d", len(e.queue), n/2)
+	}
+	var fired []Time
+	for e.Step() {
+		fired = append(fired, e.Now())
+	}
+	if len(fired) != n/4 {
+		t.Fatalf("fired %d callbacks, want %d", len(fired), n/4)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("callbacks out of order after compaction: %v", fired)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+}
+
+// TestCompactionBelowThresholdLeavesQueue pins the laziness: small
+// queues and minority-stopped queues are not compacted (the pop path
+// discards those), so Stop stays O(1) in the common case.
+func TestCompactionBelowThresholdLeavesQueue(t *testing.T) {
+	e := New(1)
+	var timers []*Timer
+	for i := 0; i < compactMin/2; i++ {
+		timers = append(timers, e.After(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if len(e.queue) != compactMin/2 {
+		t.Fatalf("small queue compacted eagerly: len=%d", len(e.queue))
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	e.Run()
+	if e.Executed() != 0 {
+		t.Fatal("stopped callbacks ran")
+	}
+}
+
 func TestExecutedCounter(t *testing.T) {
 	e := New(1)
 	for i := 0; i < 4; i++ {
