@@ -23,6 +23,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topic"
+	"repro/internal/workload"
 )
 
 // rwpScenario is the reduced random-waypoint environment: the paper's
@@ -573,6 +574,50 @@ func BenchmarkProtocolDispatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWorkloadGen is the CI smoke for the workload registry: one
+// million lazily generated publications pulled per iteration from the
+// flash-crowd generator (the stadium scenario's arrival process, scaled
+// up), with a Zipf topic spread. It pins generation overhead off the
+// simulation hot path — the walk is O(1) memory, so allocs/op must stay
+// flat no matter how many ops stream through (see also
+// TestGenerationFlatMemory in internal/workload).
+func BenchmarkWorkloadGen(b *testing.B) {
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		env := workload.Env{
+			Nodes:      1000,
+			Rand:       rand.New(rand.NewSource(int64(i) + 1)),
+			Measure:    1000 * time.Second,
+			EventTopic: topic.MustParse(".app.news"),
+		}
+		gen, err := workload.Build("flash-crowd", workload.FlashCrowdParams{
+			BaseRate: 800,
+			PeakRate: 2000,
+			Validity: 60 * time.Second,
+			Topics:   workload.TopicModel{Spread: 16, ZipfS: 1.5},
+		}, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for {
+			op, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if op.Kind != workload.Publish {
+				b.Fatal("flash-crowd emitted a non-publish op")
+			}
+			total++
+		}
+		if total < 900_000 {
+			b.Fatalf("generated only %d publications, want ~1e6", total)
+		}
+	}
+	b.ReportMetric(float64(total), "pubs/iter")
 }
 
 // BenchmarkExtShadowing measures the headline point under log-normal

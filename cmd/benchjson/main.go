@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file, so CI can archive per-PR benchmark
+// numbers (ns/op, allocs/op, bytes/op and any custom ReportMetric
+// units) as workflow artifacts and later runs can diff them.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem . | benchjson -out BENCH.json
+//	benchjson -in bench.txt -out BENCH.json
+//
+// Lines that are not benchmark results (headers, PASS/ok, test logs)
+// are ignored. A benchmark that ran but produced no metrics is still
+// listed with its iteration count.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the standard units;
+	// absent units render as zero. No omitempty: a measured zero (the
+	// flat-allocation goal) must stay distinguishable in artifact
+	// diffs, not have its key vanish.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every non-standard unit (custom b.ReportMetric
+	// values such as "reliability" or "pubs/iter").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parse reads `go test -bench` output and returns benchmark name →
+// result, preserving every "value unit" pair on each result line.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is "BenchmarkName N value unit [value unit]...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. the "Benchmarking..." prose some tools print
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %s: bad value %q", fields[0], fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		out[fields[0]] = res
+	}
+	return out, sc.Err()
+}
+
+// render marshals the results with stable key order (encoding/json
+// sorts map keys) so artifact diffs across runs are meaningful.
+func render(results map[string]Result) ([]byte, error) {
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default: stdin)")
+	out := flag.String("out", "", "JSON output file (default: stdout)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines in input")
+		os.Exit(1)
+	}
+	buf, err := render(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineThroughput-8 	 5000000	       211 ns/op
+BenchmarkWorkloadGen 	       1	  94450042 ns/op	    999810 pubs/iter	    7952 B/op	      80 allocs/op
+BenchmarkGossipVsFrugal-8   	       1	 180039655 ns/op	         0.7531 frugal-rel	         0.6145 gossip-rel
+PASS
+ok  	repro	2.113s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(results), results)
+	}
+	gen, ok := results["BenchmarkWorkloadGen"]
+	if !ok {
+		t.Fatalf("BenchmarkWorkloadGen missing: %+v", results)
+	}
+	if gen.Iterations != 1 || gen.NsPerOp != 94450042 || gen.AllocsPerOp != 80 || gen.BytesPerOp != 7952 {
+		t.Fatalf("bad standard units: %+v", gen)
+	}
+	if gen.Metrics["pubs/iter"] != 999810 {
+		t.Fatalf("custom metric lost: %+v", gen.Metrics)
+	}
+	eng := results["BenchmarkEngineThroughput-8"]
+	if eng.NsPerOp != 211 || eng.Iterations != 5000000 {
+		t.Fatalf("bad engine result: %+v", eng)
+	}
+	gossip := results["BenchmarkGossipVsFrugal-8"]
+	if gossip.Metrics["frugal-rel"] != 0.7531 || gossip.Metrics["gossip-rel"] != 0.6145 {
+		t.Fatalf("ReportMetric values lost: %+v", gossip.Metrics)
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := render(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]Result
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("rendered JSON does not parse: %v\n%s", err, buf)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost benchmarks: %d -> %d", len(results), len(back))
+	}
+	if back["BenchmarkWorkloadGen"].AllocsPerOp != 80 {
+		t.Fatalf("allocs_per_op lost in round trip: %+v", back["BenchmarkWorkloadGen"])
+	}
+}
+
+func TestParseIgnoresProse(t *testing.T) {
+	results, err := parse(strings.NewReader("no benchmarks here\nBenchmark prose line without count\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d benchmarks from prose", len(results))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/proto"
+	"repro/internal/workload"
 )
 
 // TestListingMatchesRegistries pins the -list contract: the listing is
@@ -34,6 +35,7 @@ func TestListingMatchesRegistries(t *testing.T) {
 	}
 	want = append(want, netsim.ScenarioNames()...)
 	want = append(want, proto.ProtocolNames()...)
+	want = append(want, workload.WorkloadNames()...)
 	if len(ids) != len(want) {
 		t.Fatalf("listing has %d entries, registries have %d:\n%s", len(ids), len(want), out)
 	}
@@ -65,6 +67,11 @@ func TestScenarioListingRunnable(t *testing.T) {
 	for _, name := range proto.ProtocolNames() {
 		if _, ok := proto.LookupProtocol(name); !ok {
 			t.Fatalf("listed protocol %q not resolvable", name)
+		}
+	}
+	for _, name := range workload.WorkloadNames() {
+		if _, ok := workload.LookupWorkload(name); !ok {
+			t.Fatalf("listed workload %q not resolvable", name)
 		}
 	}
 }

@@ -17,6 +17,9 @@
 //	frugalsim -protocol gossip-pushpull -events 5
 //	frugalsim -scenario manhattan -seed 3        # registered scenario
 //	frugalsim -scenario highway -protocol counter-based-broadcast
+//	frugalsim -scenario stadium                  # generated flash crowd
+//	frugalsim -workload poisson -events 0        # generated traffic only
+//	frugalsim -workload churn-nodes -events 3    # churn under traffic
 package main
 
 import (
@@ -38,6 +41,8 @@ func main() {
 			"registered scenario name (overrides the ad-hoc flags; see 'experiments -list')")
 		protocol = flag.String("protocol", "frugal",
 			"registered protocol name (frugal, the flooding/storm baselines, gossip-pushpull; see 'experiments -list')")
+		wkld = flag.String("workload", "",
+			"registered workload generator merged into the ad-hoc scenario (poisson, flash-crowd, churn-nodes, ...; see 'experiments -list')")
 		nodes     = flag.Int("nodes", 50, "number of processes")
 		mobility  = flag.String("mobility", "rwp", "rwp | city | manhattan | highway | static")
 		side      = flag.Float64("side", 2887, "square area side in meters (rwp/static)")
@@ -163,6 +168,17 @@ func main() {
 				Validity:  *validity,
 			})
 		}
+		if *wkld != "" {
+			spec, ok := netsim.ParseWorkload(*wkld)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q; registered workloads:\n", *wkld)
+				for _, name := range netsim.WorkloadNames() {
+					fmt.Fprintf(os.Stderr, "  %s\n", name)
+				}
+				os.Exit(2)
+			}
+			sc.Workload = spec
+		}
 	}
 	if *showTrace > 0 {
 		sc.Trace = trace.New(*showTrace)
@@ -175,9 +191,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("scenario: %s — %d nodes, %v mobility, %v, %.0f%% subscribers, %d event(s)\n",
+	workloadNote := ""
+	if !sc.Workload.IsZero() {
+		workloadNote = fmt.Sprintf(" + %v workload", sc.Workload)
+	}
+	fmt.Printf("scenario: %s — %d nodes, %v mobility, %v, %.0f%% subscribers, %d event(s)%s\n",
 		sc.Name, sc.Nodes, sc.Mobility.Kind, sc.Protocol,
-		sc.SubscriberFraction*100, len(sc.Publications))
+		sc.SubscriberFraction*100, len(sc.Publications), workloadNote)
 	fmt.Printf("simulated %v (wall %v)\n\n", sc.Warmup+sc.Measure, time.Since(start).Round(time.Millisecond))
 
 	tb := metrics.NewTable("per-process averages over the measurement window",

@@ -16,9 +16,14 @@
 //   - internal/flood — the flooding baselines of Section 5.2 plus the
 //     broadcast-storm schemes
 //   - internal/gossip — the push-pull rumor-mongering baseline
+//   - internal/workload — the workload registry: lazy traffic/churn
+//     generators scenarios select by name
+//   - internal/registry — the shared generic name→definition store
+//     behind the protocol, scenario and workload registries
 //   - internal/netsim, metrics, exp — scenario runner, scenario
 //     registry and experiments
-//   - cmd/experiments, cmd/frugalsim — command-line tools
+//   - cmd/experiments, cmd/frugalsim, cmd/benchjson — command-line
+//     tools
 //   - examples/ — quickstart, carpark, campus, inprocess
 //
 // ARCHITECTURE.md maps the paper's sections onto these packages and
@@ -63,6 +68,11 @@
 //	highway          highway convoy: 32 vehicles in four platoon speed
 //	                 tiers on a 3.5 km bidirectional corridor with
 //	                 on/off-ramps, two 90 s events
+//	stadium          flash crowd on the campus grid: 40 pedestrians,
+//	                 generated burst traffic (the flash-crowd workload)
+//	rush-hour        diurnal Zipf traffic on the Manhattan grid: 40
+//	                 vehicles, a commute ramp over skewed subtopics
+//	                 (the diurnal workload)
 //
 // Every catalog entry is swept against every registered protocol; a
 // default-scale sweep (3 seeds x 7 protocols) finishes in about a
@@ -98,6 +108,39 @@
 // deliveries, monotone counters, per-seed determinism); the suite is
 // table-driven over the registry, so registration is enrollment. See
 // ARCHITECTURE.md "Adding a protocol".
+//
+// # Workload registry
+//
+// Workloads are the third first-class registry (internal/workload):
+// named generators lazily synthesize publication traffic, node
+// lifecycle churn and subscription churn from the run's seeded RNG. A
+// netsim.Scenario opts in with WorkloadSpec{Name, Params}; the zero
+// spec means the explicit Publications/Crashes/Resubscriptions lists
+// alone drive the run (internally the "explicit" generator — one
+// scheduling mechanism for both paths), and a non-zero spec's stream
+// is merged with those lists. The runner pumps ops through a single
+// armed engine callback, so a million-publication run stays O(1)
+// memory and remains a pure function of (Scenario, Seed). The built-in
+// catalog:
+//
+//	poisson      traffic  memoryless arrivals at a constant mean rate
+//	periodic     traffic  fixed-period arrivals with forward jitter
+//	flash-crowd  traffic  low background rate + one high-rate burst
+//	diurnal      traffic  cosine rate ramp, quiet floor to rush peak
+//	churn-nodes  churn    waves of staggered crashes with recovery
+//	churn-subs   churn    Poisson unsubscribe/resubscribe flips
+//	explicit     util     replays a fixed pre-enumerated op schedule
+//	mix          util     merges several generators into one stream
+//
+// Traffic generators spread topics over the topic tree uniformly or
+// Zipf-skewed (workload.TopicModel). The exp "workloads" family sweeps
+// every registered generator on the reference waypoint environment
+// (experiments -fig workloads); -workload <name> sweeps one generator
+// across every registered protocol, and frugalsim -workload merges a
+// generator into an ad-hoc scenario. Every registered generator must
+// pass the conformance suite in internal/workload (deterministic per
+// seed, monotone in time, in-bounds for the run's horizon). See
+// ARCHITECTURE.md "Adding a workload".
 //
 // # Determinism contract
 //

@@ -96,6 +96,7 @@ func All() []Definition {
 		{"ext-shadowing", "Extension: reliability under log-normal shadowing", ExtShadowing},
 		{"ext-storm", "Extension: frugal vs broadcast-storm schemes (Ni et al.)", ExtStorm},
 		{"scenarios", "Extension: every registered protocol across every registered scenario (see -scenario, -proto)", Scenarios},
+		{"workloads", "Extension: every registered workload generator on the reference waypoint environment (see -workload)", Workloads},
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 14 {
-		t.Fatalf("registry has %d entries, want 14 (fig11..fig20 + ablation + extensions + scenarios)", len(defs))
+	if len(defs) != 15 {
+		t.Fatalf("registry has %d entries, want 15 (fig11..fig20 + ablation + extensions + scenarios + workloads)", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {

@@ -8,10 +8,11 @@ import (
 )
 
 // TestScenarioSweepParallelismInvariance asserts the acceptance
-// criterion for the registry-backed sweeps: -scenario manhattan/highway
-// tables are byte-identical at any parallelism.
+// criterion for the registry-backed sweeps: scenario tables — including
+// the churn scenario and the workload-generated ones — are
+// byte-identical at any parallelism.
 func TestScenarioSweepParallelismInvariance(t *testing.T) {
-	for _, name := range []string{"manhattan", "highway"} {
+	for _, name := range []string{"manhattan", "highway", "manhattan-churn", "stadium", "rush-hour"} {
 		run := func(parallel int) string {
 			out, err := ScenarioSweep(name, Options{Seeds: 1, Parallel: parallel})
 			if err != nil {

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// workloadEnv is the family's reference environment: the registered
+// waypoint scenario with its explicit publication list cleared, so the
+// generator under test supplies all traffic. Using a registered
+// scenario keeps the environment in one place; the seed stamps the run.
+func workloadEnv(seed int64) netsim.Scenario {
+	def, ok := netsim.LookupScenario("waypoint")
+	if !ok {
+		panic("exp: reference scenario \"waypoint\" not registered")
+	}
+	sc := def.Instantiate(seed)
+	sc.Publications = nil
+	return sc
+}
+
+// workloadSpec wraps a registered generator for the sweep: traffic
+// generators run standalone; churn generators (which emit no
+// publications of their own) are paired with default periodic traffic
+// through the "mix" generator, so their tables still measure delivery
+// under the churn they inject. Util generators (explicit, mix) are
+// composition helpers, not workloads to sweep — reported as skipped.
+func workloadSpec(def workload.Definition) (netsim.WorkloadSpec, bool) {
+	switch def.Class {
+	case workload.ClassTraffic:
+		return netsim.WorkloadSpec{Name: def.Name}, true
+	case workload.ClassChurn:
+		return netsim.WorkloadSpec{
+			Name: "mix",
+			Params: workload.MixParams{Parts: []workload.Spec{
+				{Name: "periodic"},
+				{Name: def.Name},
+			}},
+		}, true
+	default:
+		return netsim.WorkloadSpec{}, false
+	}
+}
+
+// Workloads is the registry-backed workload family: every registered
+// traffic and churn generator runs (with default params) on the
+// reference waypoint environment, one row per generator. The family
+// iterates the workload registry itself, so a newly registered
+// generator shows up here (and in cmd/experiments -list) with no
+// further wiring. Options.Protocol swaps the protocol under test
+// (default: the environment's frugal tuning).
+func Workloads(o Options) (*Output, error) {
+	var rows []workload.Definition
+	for _, def := range workload.Workloads() {
+		if _, ok := workloadSpec(def); ok {
+			rows = append(rows, def)
+		}
+	}
+	seeds := o.seedCount(3)
+	type sample struct {
+		events, rel, sent, dups, bytes float64
+	}
+	samples, err := runGrid(o, []int{len(rows), seeds},
+		func(ix []int) (sample, error) {
+			def := rows[ix[0]]
+			sc := workloadEnv(int64(ix[1]) + 1)
+			sc.Workload, _ = workloadSpec(def)
+			if o.Protocol != "" {
+				spec, ok := netsim.ParseProtocol(o.Protocol)
+				if !ok {
+					return sample{}, fmt.Errorf("exp: unknown protocol %q (registered: %s)",
+						o.Protocol, strings.Join(netsim.ProtocolNames(), ", "))
+				}
+				sc.Protocol = spec
+			}
+			res, err := netsim.Run(sc)
+			if err != nil {
+				return sample{}, fmt.Errorf("workload %s: %w", def.Name, err)
+			}
+			return sample{
+				events: float64(len(res.Published)),
+				rel:    res.Reliability(),
+				sent:   res.EventsSentPerProcess(),
+				dups:   res.DuplicatesPerProcess(),
+				bytes:  res.AppBytesPerProcess(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Workload generators on the waypoint environment (%d seeds; churn paired with periodic traffic)", seeds),
+		"workload", "class", "events", "reliability", "copies/proc", "dups/proc", "bandwidth")
+	for wi, def := range rows {
+		var events, rel, sent, dups, bytes metrics.Agg
+		for seed := 0; seed < seeds; seed++ {
+			s := samples.At(wi, seed)
+			events.Add(s.events)
+			rel.Add(s.rel)
+			sent.Add(s.sent)
+			dups.Add(s.dups)
+			bytes.Add(s.bytes)
+		}
+		tb.AddRow(def.Name, string(def.Class), metrics.F1(events.Mean()), metrics.Pct(rel.Mean()),
+			metrics.F1(sent.Mean()), metrics.F1(dups.Mean()), metrics.KB(bytes.Mean()))
+		o.progress("workload %s -> %s", def.Name, metrics.Pct(rel.Mean()))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}
+
+// WorkloadSweep runs one registered generator across every registered
+// protocol on the reference environment (cmd/experiments -workload).
+func WorkloadSweep(name string, o Options) (*Output, error) {
+	def, ok := workload.LookupWorkload(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown workload %q (registered: %s)",
+			name, strings.Join(workload.WorkloadNames(), ", "))
+	}
+	spec, ok := workloadSpec(def)
+	if !ok {
+		return nil, fmt.Errorf("exp: workload %q is a %s helper, not a sweepable generator (registered: %s)",
+			name, def.Class, strings.Join(workload.WorkloadNames(), ", "))
+	}
+	seeds := o.seedCount(3)
+	env := workloadEnv(1)
+	panel, err := scenarioPanel(netsim.ScenarioDef{Template: env}, o)
+	if err != nil {
+		return nil, err
+	}
+	type sample struct {
+		events, rel, sent, dups, bytes float64
+	}
+	samples, err := runGrid(o, []int{len(panel), seeds},
+		func(ix []int) (sample, error) {
+			sc := workloadEnv(int64(ix[1]) + 1)
+			sc.Workload = spec
+			sc.Protocol = panel[ix[0]]
+			res, err := netsim.Run(sc)
+			if err != nil {
+				return sample{}, fmt.Errorf("workload %s, %v: %w", name, sc.Protocol, err)
+			}
+			return sample{
+				events: float64(len(res.Published)),
+				rel:    res.Reliability(),
+				sent:   res.EventsSentPerProcess(),
+				dups:   res.DuplicatesPerProcess(),
+				bytes:  res.AppBytesPerProcess(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Workload %s — %s (%d seeds, waypoint environment)", def.Name, def.Description, seeds),
+		"protocol", "events", "reliability", "copies/proc", "dups/proc", "bandwidth")
+	for pi, pspec := range panel {
+		var events, rel, sent, dups, bytes metrics.Agg
+		for seed := 0; seed < seeds; seed++ {
+			s := samples.At(pi, seed)
+			events.Add(s.events)
+			rel.Add(s.rel)
+			sent.Add(s.sent)
+			dups.Add(s.dups)
+			bytes.Add(s.bytes)
+		}
+		tb.AddRow(pspec.String(), metrics.F1(events.Mean()), metrics.Pct(rel.Mean()),
+			metrics.F1(sent.Mean()), metrics.F1(dups.Mean()), metrics.KB(bytes.Mean()))
+		o.progress("workload %s %v -> %s", def.Name, pspec, metrics.Pct(rel.Mean()))
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}

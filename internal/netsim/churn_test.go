@@ -1,0 +1,194 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestManhattanChurnDeliveryInvariants pins the crash/recovery paths
+// under the registry scenario: first-time deliveries are unique per
+// (event, node), a node records no deliveries while it is down, and a
+// crashed-forever node stays silent after its failure instant.
+func TestManhattanChurnDeliveryInvariants(t *testing.T) {
+	def, ok := LookupScenario("manhattan-churn")
+	if !ok {
+		t.Fatal("manhattan-churn not registered")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		sc := def.Instantiate(seed)
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type key struct {
+			ev   event.ID
+			node event.NodeID
+		}
+		seen := make(map[key]bool)
+		for _, d := range res.Deliveries {
+			k := key{d.Event, d.Node}
+			if seen[k] {
+				t.Fatalf("seed %d: event %v delivered twice to node %v", seed, d.Event, d.Node)
+			}
+			seen[k] = true
+		}
+		// The template's churn schedule: node 3 down [50 s, 90 s), node
+		// 7 down from 70 s forever.
+		for _, d := range res.Deliveries {
+			if d.Node == 3 && d.At >= sim.Seconds(50) && d.At < sim.Seconds(90) {
+				t.Fatalf("seed %d: node 3 delivered at %v while crashed", seed, d.At)
+			}
+			if d.Node == 7 && d.At >= sim.Seconds(70) {
+				t.Fatalf("seed %d: node 7 delivered at %v after its permanent crash", seed, d.At)
+			}
+		}
+		// Determinism: the same (Scenario, Seed) replays the exact
+		// delivery timeline and outcomes.
+		res2, err := Run(def.Instantiate(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Deliveries, res2.Deliveries) {
+			t.Fatalf("seed %d: delivery timelines differ across identical runs", seed)
+		}
+		if !reflect.DeepEqual(res.Outcomes, res2.Outcomes) {
+			t.Fatalf("seed %d: outcomes differ across identical runs", seed)
+		}
+	}
+}
+
+// TestMidCrashPublicationNoDoubleDelivery publishes while a node is
+// down and recovers it inside the event's validity: the recovered node
+// (fresh, empty tables) may re-receive the event, but the run must
+// record at most one delivery per (event, node) and none during the
+// down window.
+func TestMidCrashPublicationNoDoubleDelivery(t *testing.T) {
+	sc := Scenario{
+		Name:  "mid-crash",
+		Nodes: 10,
+		Seed:  4,
+		Mobility: MobilitySpec{
+			Kind: StaticNodes,
+			Area: geo.NewRect(300, 300), // everyone in range of everyone
+		},
+		MAC:                mac.DefaultConfig(500),
+		Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second}),
+		SubscriberFraction: 1.0,
+		Publications: []Publication{
+			// Published at 25 s, while node 2 is down.
+			{Offset: 15 * time.Second, Publisher: 0, Validity: 90 * time.Second},
+		},
+		Crashes: []Crash{
+			{Node: 2, At: 20 * time.Second, RecoverAt: 40 * time.Second},
+		},
+		Warmup:  10 * time.Second,
+		Measure: 100 * time.Second,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Published) != 1 {
+		t.Fatalf("published %d events, want 1", len(res.Published))
+	}
+	ev := res.Published[0].ID
+	got := 0
+	for _, d := range res.Deliveries {
+		if d.Event != ev {
+			continue
+		}
+		if d.Node == 2 {
+			got++
+			if d.At < sim.Seconds(40) {
+				t.Fatalf("crashed node delivered at %v, before its recovery", d.At)
+			}
+		}
+	}
+	if got > 1 {
+		t.Fatalf("recovered node recorded %d deliveries of one event", got)
+	}
+	if got == 0 {
+		t.Fatal("recovered node never caught up on the mid-crash publication (dense static roster should re-disseminate)")
+	}
+}
+
+// TestWorkloadChurnRunIsFailsafe drives the churn generators through a
+// real run: crash/recover and unsubscribe/resubscribe ops emitted by
+// the registry generators must execute without error and keep delivery
+// records unique.
+func TestWorkloadChurnRunIsFailsafe(t *testing.T) {
+	sc := Scenario{
+		Name:  "churn-mix",
+		Nodes: 12,
+		Seed:  6,
+		Mobility: MobilitySpec{
+			Kind: StaticNodes,
+			Area: geo.NewRect(400, 400),
+		},
+		MAC:                mac.DefaultConfig(500),
+		SubscriberFraction: 1.0,
+		Workload: WorkloadSpec{
+			Name: "mix",
+			Params: workload.MixParams{Parts: []workload.Spec{
+				{Name: "periodic", Params: workload.PeriodicParams{Period: 4 * time.Second}},
+				{Name: "churn-nodes", Params: workload.NodeChurnParams{Waves: 3, Fraction: 0.25, Downtime: 10 * time.Second}},
+				{Name: "churn-subs", Params: workload.SubChurnParams{Rate: 0.2, Resub: 5 * time.Second}},
+			}},
+		},
+		Warmup:  10 * time.Second,
+		Measure: 90 * time.Second,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Published) == 0 {
+		t.Fatal("mixed workload published nothing")
+	}
+	type key struct {
+		ev   event.ID
+		node event.NodeID
+	}
+	seen := make(map[key]bool)
+	for _, d := range res.Deliveries {
+		k := key{d.Event, d.Node}
+		if seen[k] {
+			t.Fatalf("event %v delivered twice to node %v under generated churn", d.Event, d.Node)
+		}
+		seen[k] = true
+	}
+}
+
+// TestWorkloadOutOfRangeOpFailsRun pins the runner's defense: a
+// generator emitting an out-of-roster node index is deterministic
+// misconfiguration and must fail the run, not corrupt it.
+func TestWorkloadOutOfRangeOpFailsRun(t *testing.T) {
+	sc := Scenario{
+		Nodes: 3,
+		Seed:  1,
+		Mobility: MobilitySpec{
+			Kind: StaticNodes,
+			Area: geo.NewRect(100, 100),
+		},
+		MAC:                mac.DefaultConfig(200),
+		SubscriberFraction: 1.0,
+		Workload: WorkloadSpec{
+			Name: "explicit",
+			Params: workload.ExplicitParams{Ops: []workload.Op{
+				{At: time.Second, Kind: workload.Crash, Node: 99},
+			}},
+		},
+		Warmup:  time.Second,
+		Measure: 10 * time.Second,
+	}
+	if _, err := Run(sc); err == nil {
+		t.Fatal("run with an out-of-range workload op succeeded")
+	}
+}

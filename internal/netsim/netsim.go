@@ -23,6 +23,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/topic"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // ProtocolSpec selects and tunes the dissemination protocol under test
@@ -75,6 +76,30 @@ func ParseProtocol(s string) (ProtocolSpec, bool) {
 // ProtocolNames returns the sorted registered protocol names (the
 // proto registry's catalog, re-exported for the CLIs).
 func ProtocolNames() []string { return proto.ProtocolNames() }
+
+// WorkloadSpec selects and tunes a workload generator by registry name
+// (see internal/workload): Name is the registered key and Params, when
+// non-nil, must have the generator's registered params type (nil
+// selects its defaults). The zero spec generates nothing — the
+// scenario's explicit Publications/Crashes/Resubscriptions lists alone
+// drive the run (internally they become the "explicit" generator). A
+// non-zero spec's stream is merged with the explicit lists, so
+// hand-placed events and generated dynamics compose.
+type WorkloadSpec = workload.Spec
+
+// ParseWorkload resolves a registry name into a default-params spec.
+// It reports false for unregistered names; WorkloadNames lists the
+// valid ones.
+func ParseWorkload(s string) (WorkloadSpec, bool) {
+	if _, ok := workload.LookupWorkload(s); !ok {
+		return WorkloadSpec{}, false
+	}
+	return WorkloadSpec{Name: s}, true
+}
+
+// WorkloadNames returns the sorted registered workload-generator names
+// (the workload registry's catalog, re-exported for the CLIs).
+func WorkloadNames() []string { return workload.WorkloadNames() }
 
 // MobilityKind selects the mobility model.
 type MobilityKind int
@@ -258,6 +283,12 @@ type Scenario struct {
 	Crashes         []Crash
 	Resubscriptions []Resubscription
 
+	// Workload, when non-zero, selects a registered generator that
+	// lazily synthesizes additional traffic and dynamics from the run's
+	// seeded RNG; its op stream is merged with the explicit lists
+	// above. Validated against the registered params schema.
+	Workload WorkloadSpec
+
 	// CustomModels, when non-nil, overrides the mobility model of node
 	// i with CustomModels[i] (nil entries fall back to Mobility). This
 	// enables hand-crafted topologies such as a courier node shuttling
@@ -322,6 +353,9 @@ func (s Scenario) Validate() error {
 		return errors.New("netsim: negative Warmup")
 	}
 	if err := proto.CheckParams(s.Protocol.withDefaults().Name, s.Protocol.Params); err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
+	if err := s.Workload.Validate(); err != nil {
 		return fmt.Errorf("netsim: %w", err)
 	}
 	if err := s.MAC.Validate(); err != nil {

@@ -2,8 +2,8 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+
+	"repro/internal/registry"
 )
 
 // ScenarioDef is a named, declaratively registered scenario: a complete
@@ -37,10 +37,7 @@ func (d ScenarioDef) Instantiate(seed int64) Scenario {
 	return sc
 }
 
-var scenarioRegistry = struct {
-	mu   sync.RWMutex
-	defs map[string]ScenarioDef
-}{defs: make(map[string]ScenarioDef)}
+var scenarios = registry.New[ScenarioDef]("netsim: scenario")
 
 // RegisterScenario adds a definition to the registry. It panics on a
 // duplicate name or an invalid template (registration happens at init
@@ -52,40 +49,14 @@ func RegisterScenario(d ScenarioDef) {
 	if err := d.Instantiate(1).withDefaults().Validate(); err != nil {
 		panic(fmt.Sprintf("netsim: scenario %q template invalid: %v", d.Name, err))
 	}
-	scenarioRegistry.mu.Lock()
-	defer scenarioRegistry.mu.Unlock()
-	if _, dup := scenarioRegistry.defs[d.Name]; dup {
-		panic(fmt.Sprintf("netsim: scenario %q registered twice", d.Name))
-	}
-	scenarioRegistry.defs[d.Name] = d
+	scenarios.Register(d.Name, d)
 }
 
 // Scenarios returns every registered definition, sorted by name.
-func Scenarios() []ScenarioDef {
-	scenarioRegistry.mu.RLock()
-	defer scenarioRegistry.mu.RUnlock()
-	out := make([]ScenarioDef, 0, len(scenarioRegistry.defs))
-	for _, d := range scenarioRegistry.defs {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+func Scenarios() []ScenarioDef { return scenarios.All() }
 
 // ScenarioNames returns the sorted registered names.
-func ScenarioNames() []string {
-	defs := Scenarios()
-	names := make([]string, len(defs))
-	for i, d := range defs {
-		names[i] = d.Name
-	}
-	return names
-}
+func ScenarioNames() []string { return scenarios.Names() }
 
 // LookupScenario finds a definition by name.
-func LookupScenario(name string) (ScenarioDef, bool) {
-	scenarioRegistry.mu.RLock()
-	defer scenarioRegistry.mu.RUnlock()
-	d, ok := scenarioRegistry.defs[name]
-	return d, ok
-}
+func LookupScenario(name string) (ScenarioDef, bool) { return scenarios.Lookup(name) }

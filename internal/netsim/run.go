@@ -12,6 +12,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // node is one simulated process: mobility + MAC port + protocol.
@@ -119,7 +120,9 @@ func Run(sc Scenario) (*Result, error) {
 	if err := r.build(); err != nil {
 		return nil, err
 	}
-	r.schedule()
+	if err := r.schedule(); err != nil {
+		return nil, err
+	}
 	end := sim.At(sc.Warmup + sc.Measure)
 	r.eng.RunUntil(end)
 	if r.err != nil {
@@ -358,38 +361,151 @@ func (r *runner) traceAdd(rec trace.Record) {
 	}
 }
 
-// schedule arms the warm-up snapshot, publications and crashes.
-func (r *runner) schedule() {
+// schedule arms the warm-up snapshot and the workload pump that drives
+// publications, crashes and (re)subscriptions.
+func (r *runner) schedule() error {
 	sc := r.sc
 	warm := sim.At(sc.Warmup)
 	// Snapshot first: scheduled before any same-instant publication, so
 	// FIFO tie-breaking guarantees window counters include them.
 	r.eng.At(warm, r.snapshot)
 	pubRng := r.eng.NewRand()
-	for i := range sc.Publications {
-		p := sc.Publications[i]
-		r.eng.At(warm.Add(p.Offset), func() { r.publish(p, pubRng) })
+	gen, err := r.buildWorkload()
+	if err != nil {
+		return err
 	}
-	for i := range sc.Crashes {
-		c := sc.Crashes[i]
-		r.eng.At(sim.At(c.At), func() { r.crash(c.Node) })
+	r.pump(gen, pubRng)
+	return nil
+}
+
+// explicitOps converts the scenario's hand-written lists into one
+// sorted op schedule for the "explicit" generator. The pre-sort slice
+// order encodes the tie-break for same-instant ops (publications in
+// list order, then each crash with its recovery, then
+// resubscriptions), matching the engine's historical FIFO order when
+// the lists were scheduled up front.
+func (r *runner) explicitOps() []workload.Op {
+	sc := r.sc
+	ops := make([]workload.Op, 0, len(sc.Publications)+2*len(sc.Crashes)+len(sc.Resubscriptions))
+	for _, p := range sc.Publications {
+		ops = append(ops, workload.Op{
+			At:       sc.Warmup + p.Offset,
+			Kind:     workload.Publish,
+			Node:     p.Publisher,
+			Topic:    p.Topic,
+			Validity: p.Validity,
+		})
+	}
+	for _, c := range sc.Crashes {
+		ops = append(ops, workload.Op{At: c.At, Kind: workload.Crash, Node: c.Node})
 		if c.RecoverAt != 0 {
-			r.eng.At(sim.At(c.RecoverAt), func() { r.recover(c.Node) })
+			ops = append(ops, workload.Op{At: c.RecoverAt, Kind: workload.Recover, Node: c.Node})
 		}
 	}
-	for i := range sc.Resubscriptions {
-		rs := sc.Resubscriptions[i]
-		r.eng.At(sim.At(rs.At), func() {
-			n := r.nodes[rs.Node]
-			if n.down {
-				return
-			}
-			if rs.Unsubscribe {
-				n.proto.Unsubscribe(rs.Topic)
-			} else {
-				_ = n.proto.Subscribe(rs.Topic)
-			}
-		})
+	for _, rs := range sc.Resubscriptions {
+		kind := workload.Subscribe
+		if rs.Unsubscribe {
+			kind = workload.Unsubscribe
+		}
+		ops = append(ops, workload.Op{At: rs.At, Kind: kind, Node: rs.Node, Topic: rs.Topic})
+	}
+	workload.SortOps(ops)
+	return ops
+}
+
+// buildWorkload assembles the run's op stream: the explicit lists
+// always run (as the "explicit" generator); a non-zero WorkloadSpec is
+// built through the workload registry with its own RNG stream and
+// merged in (ties to the explicit schedule).
+func (r *runner) buildWorkload() (workload.Generator, error) {
+	sc := r.sc
+	gen := workload.NewExplicit(r.explicitOps())
+	if sc.Workload.IsZero() {
+		return gen, nil
+	}
+	env := workload.Env{
+		Nodes:      sc.Nodes,
+		Rand:       r.eng.NewRand(),
+		Warmup:     sc.Warmup,
+		Measure:    sc.Measure,
+		EventTopic: sc.EventTopic,
+	}
+	wgen, err := workload.Build(sc.Workload.Name, sc.Workload.Params, env)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: workload %q: %w", sc.Workload.Name, err)
+	}
+	return workload.Merge(gen, wgen), nil
+}
+
+// pump streams the workload into the engine with exactly one armed
+// callback: apply the current op, pull the next, reschedule. A run with
+// a million generated publications therefore never materializes an op
+// slice — generation stays O(1) memory off the simulation's hot path.
+func (r *runner) pump(gen workload.Generator, pubRng *rand.Rand) {
+	op, ok := gen.Next()
+	if !ok {
+		return
+	}
+	var fire func()
+	fire = func() {
+		cur := op
+		r.apply(cur, pubRng)
+		next, ok := gen.Next()
+		if !ok {
+			return
+		}
+		if next.At < cur.At {
+			r.fail(fmt.Errorf("netsim: workload %q emitted op at %v after %v (non-monotone)",
+				r.sc.Workload, next.At, cur.At))
+			return
+		}
+		op = next
+		r.eng.At(sim.At(op.At), fire)
+	}
+	r.eng.At(sim.At(op.At), fire)
+}
+
+// apply executes one workload op. Ops come from either the validated
+// explicit lists or a registered generator held to the conformance
+// suite; out-of-range ops are deterministic misconfiguration and fail
+// the run.
+func (r *runner) apply(op workload.Op, pubRng *rand.Rand) {
+	minNode := 0
+	if op.Kind == workload.Publish {
+		minNode = -1 // -1 publishes from a random subscriber
+	}
+	if op.Node < minNode || op.Node >= r.sc.Nodes {
+		r.fail(fmt.Errorf("netsim: workload %s op node %d out of range [%d,%d)",
+			op.Kind, op.Node, minNode, r.sc.Nodes))
+		return
+	}
+	switch op.Kind {
+	case workload.Publish:
+		if op.Validity <= 0 {
+			r.fail(fmt.Errorf("netsim: workload publish without validity at %v", op.At))
+			return
+		}
+		r.publish(Publication{Publisher: op.Node, Topic: op.Topic, Validity: op.Validity}, pubRng)
+	case workload.Crash:
+		r.crash(op.Node)
+	case workload.Recover:
+		r.recover(op.Node)
+	case workload.Subscribe, workload.Unsubscribe:
+		n := r.nodes[op.Node]
+		if n.down {
+			return
+		}
+		tp := op.Topic
+		if tp.IsZero() {
+			tp = r.sc.EventTopic
+		}
+		if op.Kind == workload.Unsubscribe {
+			n.proto.Unsubscribe(tp)
+		} else {
+			_ = n.proto.Subscribe(tp)
+		}
+	default:
+		r.fail(fmt.Errorf("netsim: unknown workload op kind %v", op.Kind))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/mac"
+	"repro/internal/workload"
 )
 
 // Built-in scenario definitions. Each is a complete declarative
@@ -134,6 +135,72 @@ func init() {
 			},
 			Warmup:  20 * time.Second,
 			Measure: 95 * time.Second,
+		},
+	})
+	RegisterScenario(ScenarioDef{
+		Name:        "stadium",
+		Description: "flash crowd on the campus grid: 40 pedestrians, a burst of generated events mid-window",
+		Runtime:     "~2 s",
+		Template: Scenario{
+			Nodes: 40,
+			Mobility: MobilitySpec{
+				Kind:      CitySection,
+				StopProb:  0.3,
+				StopMin:   2 * time.Second,
+				StopMax:   10 * time.Second,
+				DestPause: 5 * time.Second,
+			},
+			MAC:                mac.DefaultConfig(44),
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
+			SubscriberFraction: 0.9,
+			// No explicit publication list: the flash-crowd generator
+			// synthesizes the traffic — a quiet background rate with a
+			// 20 s burst a third into the window, spread over four
+			// subtopics of the event topic.
+			Workload: WorkloadSpec{
+				Name: "flash-crowd",
+				Params: workload.FlashCrowdParams{
+					BaseRate:   0.05,
+					PeakRate:   1.0,
+					BurstStart: 40 * time.Second,
+					BurstLen:   20 * time.Second,
+					Validity:   60 * time.Second,
+					Topics:     workload.TopicModel{Spread: 4},
+				},
+			},
+			Warmup:  30 * time.Second,
+			Measure: 120 * time.Second,
+		},
+	})
+	RegisterScenario(ScenarioDef{
+		Name:        "rush-hour",
+		Description: "diurnal Zipf traffic on the Manhattan grid: 40 vehicles, a commute ramp over skewed topics",
+		Runtime:     "~2 s",
+		Template: Scenario{
+			Nodes: 40,
+			Mobility: MobilitySpec{
+				Kind:        ManhattanGrid,
+				LightCycle:  30 * time.Second,
+				RedFraction: 0.4,
+				DestPause:   10 * time.Second,
+			},
+			MAC:                mac.DefaultConfig(100),
+			Protocol:           FrugalSpec(CoreTuning{HBUpperBound: time.Second, UseSpeed: true}),
+			SubscriberFraction: 0.8,
+			// Generated traffic only: one cosine quiet-rush-quiet arc
+			// over the window, topics Zipf-skewed across six subtopics
+			// (a popular head and a long tail).
+			Workload: WorkloadSpec{
+				Name: "diurnal",
+				Params: workload.DiurnalParams{
+					MinRate:  0.02,
+					MaxRate:  0.4,
+					Validity: 90 * time.Second,
+					Topics:   workload.TopicModel{Spread: 6, ZipfS: 1.5},
+				},
+			},
+			Warmup:  30 * time.Second,
+			Measure: 130 * time.Second,
 		},
 	})
 }

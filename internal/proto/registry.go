@@ -3,9 +3,9 @@ package proto
 import (
 	"fmt"
 	"reflect"
-	"sort"
 	"strings"
-	"sync"
+
+	"repro/internal/registry"
 )
 
 // Params carries a protocol's scenario-level tuning. Each protocol
@@ -44,10 +44,7 @@ type Definition struct {
 	New Factory
 }
 
-var registry = struct {
-	mu   sync.RWMutex
-	defs map[string]Definition
-}{defs: make(map[string]Definition)}
+var protocols = registry.New[Definition]("proto: protocol")
 
 // RegisterProtocol adds a definition to the registry. It panics on a
 // duplicate name, missing metadata, or an invalid schema (registration
@@ -63,43 +60,17 @@ func RegisterProtocol(d Definition) {
 	if err := d.Params.Validate(); err != nil {
 		panic(fmt.Sprintf("proto: protocol %q schema zero value invalid: %v", d.Name, err))
 	}
-	registry.mu.Lock()
-	defer registry.mu.Unlock()
-	if _, dup := registry.defs[d.Name]; dup {
-		panic(fmt.Sprintf("proto: protocol %q registered twice", d.Name))
-	}
-	registry.defs[d.Name] = d
+	protocols.Register(d.Name, d)
 }
 
 // Protocols returns every registered definition, sorted by name.
-func Protocols() []Definition {
-	registry.mu.RLock()
-	defer registry.mu.RUnlock()
-	out := make([]Definition, 0, len(registry.defs))
-	for _, d := range registry.defs {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+func Protocols() []Definition { return protocols.All() }
 
 // ProtocolNames returns the sorted registered names.
-func ProtocolNames() []string {
-	defs := Protocols()
-	names := make([]string, len(defs))
-	for i, d := range defs {
-		names[i] = d.Name
-	}
-	return names
-}
+func ProtocolNames() []string { return protocols.Names() }
 
 // LookupProtocol finds a definition by name.
-func LookupProtocol(name string) (Definition, bool) {
-	registry.mu.RLock()
-	defer registry.mu.RUnlock()
-	d, ok := registry.defs[name]
-	return d, ok
-}
+func LookupProtocol(name string) (Definition, bool) { return protocols.Lookup(name) }
 
 // resolve is the single code path behind CheckParams and Build: it
 // looks the name up and type-checks params against the registered

@@ -1,0 +1,83 @@
+// Package registry is the shared name→definition plumbing behind the
+// repo's three registries: protocols (internal/proto), scenarios
+// (internal/netsim) and workload generators (internal/workload). Each
+// of those packages keeps its own public API — typed Register/Lookup
+// functions with domain-specific validation — and delegates the storage,
+// duplicate detection and sorted enumeration to a Store.
+//
+// Registration happens at init time, so misuse (empty or duplicate
+// names) panics loudly instead of surfacing at first use.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store holds named definitions of one kind. The zero value is not
+// usable; construct with New.
+type Store[D any] struct {
+	// what prefixes panic messages, e.g. "proto: protocol".
+	what string
+
+	mu   sync.RWMutex
+	defs map[string]D
+}
+
+// New returns an empty store. what names the definition kind in panic
+// messages (e.g. "netsim: scenario").
+func New[D any](what string) *Store[D] {
+	return &Store[D]{what: what, defs: make(map[string]D)}
+}
+
+// Register adds def under name. It panics on an empty or duplicate
+// name; domain-specific validation belongs in the caller, before
+// Register.
+func (s *Store[D]) Register(name string, def D) {
+	if name == "" {
+		panic(fmt.Sprintf("%s registered without a name", s.what))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.defs[name]; dup {
+		panic(fmt.Sprintf("%s %q registered twice", s.what, name))
+	}
+	s.defs[name] = def
+}
+
+// Lookup finds a definition by name.
+func (s *Store[D]) Lookup(name string) (D, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.defs[name]
+	return d, ok
+}
+
+// Names returns the sorted registered names.
+func (s *Store[D]) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.defs))
+	for name := range s.defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered definition, sorted by name.
+func (s *Store[D]) All() []D {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.defs))
+	for name := range s.defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]D, len(names))
+	for i, name := range names {
+		out[i] = s.defs[name]
+	}
+	return out
+}

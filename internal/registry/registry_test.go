@@ -1,0 +1,56 @@
+package registry
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+type def struct{ name, desc string }
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := New[def]("test: thing")
+	s.Register("b", def{"b", "second"})
+	s.Register("a", def{"a", "first"})
+	s.Register("c", def{"c", "third"})
+
+	if d, ok := s.Lookup("a"); !ok || d.desc != "first" {
+		t.Fatalf("Lookup(a) = %+v, %v", d, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+	names := s.Names()
+	if !sort.StringsAreSorted(names) || len(names) != 3 {
+		t.Fatalf("Names() = %v", names)
+	}
+	all := s.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d defs", len(all))
+	}
+	for i, d := range all {
+		if d.name != names[i] {
+			t.Fatalf("All()[%d] = %q, want %q (name order)", i, d.name, names[i])
+		}
+	}
+}
+
+func TestStorePanics(t *testing.T) {
+	mustPanic := func(label, wantSubstr string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", label)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, wantSubstr) {
+				t.Fatalf("%s: panic %v does not mention %q", label, r, wantSubstr)
+			}
+		}()
+		fn()
+	}
+	s := New[def]("test: thing")
+	s.Register("x", def{})
+	mustPanic("duplicate", `test: thing "x" registered twice`, func() { s.Register("x", def{}) })
+	mustPanic("empty name", "test: thing registered without a name", func() { s.Register("", def{}) })
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExplicitParams replays a fixed, pre-enumerated op schedule — the
+// compatibility bridge for scenarios that enumerate every publication,
+// crash and resubscription by hand. netsim converts its
+// Publications/Crashes/Resubscriptions lists into exactly this
+// generator, so the legacy path and the generated path share one
+// scheduling mechanism.
+type ExplicitParams struct {
+	// Ops is the schedule, sorted by At (stable: same-instant ops keep
+	// their slice order).
+	Ops []Op
+}
+
+// Validate implements Params.
+func (p ExplicitParams) Validate() error {
+	for i, op := range p.Ops {
+		if op.At < 0 {
+			return fmt.Errorf("workload: explicit op %d at negative time %v", i, op.At)
+		}
+		if i > 0 && op.At < p.Ops[i-1].At {
+			return fmt.Errorf("workload: explicit ops not sorted (op %d at %v after %v)",
+				i, op.At, p.Ops[i-1].At)
+		}
+		if op.Kind == Publish {
+			if op.Validity <= 0 {
+				return fmt.Errorf("workload: explicit publish %d without validity", i)
+			}
+		} else if op.Node < 0 {
+			return fmt.Errorf("workload: explicit op %d (%v) with negative node", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// SortOps stable-sorts ops by At in place: same-instant ops keep their
+// relative order, which is how callers encode tie-breaking (e.g. netsim
+// lists publications before crashes before resubscriptions).
+func SortOps(ops []Op) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+}
+
+type explicitGen struct {
+	ops []Op
+	i   int
+}
+
+func (g *explicitGen) Next() (Op, bool) {
+	if g.i >= len(g.ops) {
+		return Op{}, false
+	}
+	op := g.ops[g.i]
+	g.i++
+	return op, true
+}
+
+// NewExplicit returns a generator replaying ops (which must already be
+// sorted by At; see SortOps). It is the "explicit" registry entry,
+// exported directly because netsim builds it on every run.
+func NewExplicit(ops []Op) Generator { return &explicitGen{ops: ops} }
+
+// head is one merged stream's buffered next op.
+type head struct {
+	op  Op
+	gen Generator
+}
+
+type merged struct{ heads []head }
+
+// Merge interleaves generators into one time-ordered stream. Ties go to
+// the earliest-listed generator, so merging is deterministic and the
+// explicit schedule (always listed first by netsim) keeps its
+// tie-breaking authority over generated traffic.
+func Merge(gens ...Generator) Generator {
+	m := &merged{}
+	for _, g := range gens {
+		if g == nil {
+			continue
+		}
+		if op, ok := g.Next(); ok {
+			m.heads = append(m.heads, head{op, g})
+		}
+	}
+	return m
+}
+
+func (m *merged) Next() (Op, bool) {
+	if len(m.heads) == 0 {
+		return Op{}, false
+	}
+	best := 0
+	for i := 1; i < len(m.heads); i++ {
+		if m.heads[i].op.At < m.heads[best].op.At {
+			best = i
+		}
+	}
+	op := m.heads[best].op
+	if next, ok := m.heads[best].gen.Next(); ok {
+		m.heads[best].op = next
+	} else {
+		m.heads = append(m.heads[:best], m.heads[best+1:]...)
+	}
+	return op, true
+}
+
+// MixParams composes several registered generators into one stream —
+// e.g. diurnal traffic plus node churn plus subscription churn. Parts
+// are merged in time order (ties to the earlier part).
+type MixParams struct {
+	Parts []Spec
+}
+
+// Validate implements Params; each part must name a registered
+// generator and carry schema-typed params.
+func (p MixParams) Validate() error {
+	for i, part := range p.Parts {
+		if part.IsZero() {
+			return fmt.Errorf("workload: mix part %d has no generator name", i)
+		}
+		if part.Name == "mix" {
+			return fmt.Errorf("workload: mix part %d nests mix", i)
+		}
+		if err := part.Validate(); err != nil {
+			return fmt.Errorf("workload: mix part %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func init() {
+	RegisterWorkload(Definition{
+		Name:        "explicit",
+		Description: "replays a fixed pre-enumerated op schedule (the compatibility path for hand-written scenario lists)",
+		Class:       ClassUtil,
+		Params:      ExplicitParams{},
+		New: func(p Params, _ Env) (Generator, error) {
+			return NewExplicit(p.(ExplicitParams).Ops), nil
+		},
+	})
+	RegisterWorkload(Definition{
+		Name:        "mix",
+		Description: "merges several registered generators into one time-ordered stream (traffic + churn compositions)",
+		Class:       ClassUtil,
+		Params:      MixParams{},
+		New: func(p Params, env Env) (Generator, error) {
+			parts := p.(MixParams).Parts
+			gens := make([]Generator, 0, len(parts))
+			for _, part := range parts {
+				g, err := Build(part.Name, part.Params, env)
+				if err != nil {
+					return nil, err
+				}
+				gens = append(gens, g)
+			}
+			return Merge(gens...), nil
+		},
+	})
+}
