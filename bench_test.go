@@ -421,10 +421,72 @@ func benchLargeMedium(b *testing.B, fullScan bool) {
 // 500 sparse nodes.
 func BenchmarkMACBroadcastLarge(b *testing.B) { benchLargeMedium(b, false) }
 
+// BenchmarkMACBroadcastAllocs pins the medium's allocation-flat
+// contract: with pooled engine timers, pooled transmission records and
+// reused scratch buffers, a steady-state broadcast (contention, airtime
+// and delivery) must report 0 allocs/op. Messages are pre-boxed so the
+// benchmark does not charge the medium for its own interface
+// conversions.
+func BenchmarkMACBroadcastAllocs(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New(1)
+	const n = 500
+	positions := make(map[event.NodeID]geo.Point)
+	for i := event.NodeID(0); i < n; i++ {
+		positions[i] = geo.Pt(float64(i%25)*400, float64(i/25)*1000)
+	}
+	cfg := mac.DefaultConfig(400)
+	cfg.SpeedBounded = true // static roster
+	medium := mac.New(eng, cfg, staticLocator(positions))
+	ports := make([]*mac.Port, n)
+	msgs := make([]event.Message, n)
+	for i := event.NodeID(0); i < n; i++ {
+		ports[i] = medium.Attach(i, func(mac.Frame) {})
+		msgs[i] = event.Heartbeat{From: i}
+	}
+	for i := 0; i < 2*n; i++ { // warm the pools
+		ports[i%n].Broadcast(msgs[i%n], 50)
+		eng.Run()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ports[i%n].Broadcast(msgs[i%n], 50)
+		eng.Run()
+	}
+}
+
 // BenchmarkMACBroadcastLargeFullScan is the same roster on the
 // reference full scan — compare against BenchmarkMACBroadcastLarge to
 // see the O(neighbors) vs O(N) gap.
 func BenchmarkMACBroadcastLargeFullScan(b *testing.B) { benchLargeMedium(b, true) }
+
+// BenchmarkMetroSweep is the city-scale engine benchmark: one 5k-node
+// metro run (the metro-5k registry scenario — 11.4 km^2 Manhattan-style
+// grid, diurnal Zipf traffic with churn waves) on a shortened
+// measurement window per iteration. This is the number the timer wheel,
+// the incremental spatial index and the allocation-flat MAC/runner hot
+// paths were built for; BENCH_pr5.json archives it per CI run. (It has
+// no pre-PR baseline in BENCH_pr4.json, so the benchjson guardrail's
+// named set cannot cover it yet — add it to the -names list once a
+// baseline containing it is committed.)
+func BenchmarkMetroSweep(b *testing.B) {
+	def, ok := netsim.LookupScenario("metro-5k")
+	if !ok {
+		b.Fatal("metro-5k scenario not registered")
+	}
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		sc := def.Instantiate(int64(i) + 1)
+		sc.Warmup = 5 * time.Second
+		sc.Measure = 15 * time.Second
+		res, err := netsim.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel += res.Reliability()
+	}
+	b.ReportMetric(rel/float64(b.N), "reliability")
+}
 
 // BenchmarkScenarioSweep runs one reduced pass of the registry-backed
 // scenarios family: the manhattan urban-VANET environment swept across

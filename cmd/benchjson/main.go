@@ -7,10 +7,24 @@
 //
 //	go test -bench=. -benchtime=1x -benchmem . | benchjson -out BENCH.json
 //	benchjson -in bench.txt -out BENCH.json
+//	benchjson -diff -names BenchmarkWorkloadGen,BenchmarkMetroSweep old.json new.json
 //
 // Lines that are not benchmark results (headers, PASS/ok, test logs)
 // are ignored. A benchmark that ran but produced no metrics is still
 // listed with its iteration count.
+//
+// # Diff mode (-diff)
+//
+// -diff compares two previously written JSON files and exits non-zero
+// when any named benchmark regressed by more than -max-regress
+// (default 0.25, i.e. 25%) in ns/op or allocs/op — the CI guardrail
+// between per-PR artifacts (BENCH_pr4.json -> BENCH_pr5.json). A
+// benchmark whose baseline allocs/op is zero must stay at zero: going
+// from allocation-flat to allocating is a regression no ratio can
+// express. -names restricts the check to a comma-separated list (every
+// named benchmark must exist in both files); without it every
+// benchmark present in both files is checked, and benchmarks only
+// present on one side are ignored.
 package main
 
 import (
@@ -19,7 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -91,10 +107,118 @@ func render(results map[string]Result) ([]byte, error) {
 	return append(buf, '\n'), nil
 }
 
+// regression is one over-threshold finding of diffResults.
+type regression struct {
+	Name   string
+	Unit   string
+	Old    float64
+	New    float64
+	Growth float64 // (new-old)/old; +Inf for 0 -> nonzero allocs
+}
+
+func (r regression) String() string {
+	if math.IsInf(r.Growth, 1) {
+		return fmt.Sprintf("%s %s: %.4g -> %.4g (was allocation-flat)", r.Name, r.Unit, r.Old, r.New)
+	}
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (+%.1f%%)", r.Name, r.Unit, r.Old, r.New, 100*r.Growth)
+}
+
+// diffResults compares new against old and returns the regressions
+// exceeding maxRegress in ns/op or allocs/op. With names empty, every
+// benchmark present in both files is compared; otherwise exactly the
+// named ones, which must exist on both sides (a vanished benchmark
+// cannot certify anything).
+func diffResults(old, new map[string]Result, names []string, maxRegress float64) ([]regression, error) {
+	if len(names) == 0 {
+		for name := range old {
+			if _, ok := new[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+	}
+	var regs []regression
+	for _, name := range names {
+		o, ok := old[name]
+		if !ok {
+			return nil, fmt.Errorf("benchjson: %s missing from the baseline file", name)
+		}
+		n, ok := new[name]
+		if !ok {
+			return nil, fmt.Errorf("benchjson: %s missing from the new file", name)
+		}
+		check := func(unit string, ov, nv float64) {
+			switch {
+			case ov == 0 && nv > 0 && unit == "allocs/op":
+				regs = append(regs, regression{Name: name, Unit: unit, Old: ov, New: nv, Growth: math.Inf(1)})
+			case ov > 0 && (nv-ov)/ov > maxRegress:
+				regs = append(regs, regression{Name: name, Unit: unit, Old: ov, New: nv, Growth: (nv - ov) / ov})
+			}
+		}
+		check("ns/op", o.NsPerOp, n.NsPerOp)
+		check("allocs/op", o.AllocsPerOp, n.AllocsPerOp)
+	}
+	return regs, nil
+}
+
+func loadResults(path string) (map[string]Result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Result
+	if err := json.Unmarshal(buf, &out); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+func runDiff(oldPath, newPath, names string, maxRegress float64) int {
+	old, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	new, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var nameList []string
+	if names != "" {
+		nameList = strings.Split(names, ",")
+	}
+	regs, err := diffResults(old, new, nameList, maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchjson: no regression beyond %.0f%% between %s and %s\n",
+			100*maxRegress, oldPath, newPath)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+	}
+	return 1
+}
+
 func main() {
 	in := flag.String("in", "", "benchmark output file (default: stdin)")
 	out := flag.String("out", "", "JSON output file (default: stdout)")
+	diffMode := flag.Bool("diff", false, "compare two JSON files (args: old.json new.json); exit non-zero on regression")
+	names := flag.String("names", "", "comma-separated benchmarks the diff must cover (default: all common)")
+	maxRegress := flag.Float64("max-regress", 0.25, "diff failure threshold on ns/op and allocs/op growth")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(1)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *names, *maxRegress))
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "" {

@@ -75,3 +75,75 @@ func TestParseIgnoresProse(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks from prose", len(results))
 	}
 }
+
+func TestDiffResultsThreshold(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	// Within threshold: +20% ns, equal allocs.
+	regs, err := diffResults(old, map[string]Result{
+		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 0},
+	}, nil, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("within-threshold diff flagged: regs=%v err=%v", regs, err)
+	}
+	// Over threshold on ns/op.
+	regs, err = diffResults(old, map[string]Result{
+		"BenchmarkA": {NsPerOp: 126, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 0},
+	}, nil, 0.25)
+	if err != nil || len(regs) != 1 || regs[0].Name != "BenchmarkA" || regs[0].Unit != "ns/op" {
+		t.Fatalf("ns regression not flagged: regs=%v err=%v", regs, err)
+	}
+	// Over threshold on allocs/op.
+	regs, err = diffResults(old, map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 13},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 0},
+	}, nil, 0.25)
+	if err != nil || len(regs) != 1 || regs[0].Unit != "allocs/op" {
+		t.Fatalf("alloc regression not flagged: regs=%v err=%v", regs, err)
+	}
+	// Allocation-flat contract: 0 -> any allocs fails regardless of ratio.
+	regs, err = diffResults(old, map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1},
+	}, nil, 0.25)
+	if err != nil || len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("flat-alloc break not flagged: regs=%v err=%v", regs, err)
+	}
+	// Improvements never flag.
+	regs, err = diffResults(old, map[string]Result{
+		"BenchmarkA": {NsPerOp: 10, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 50, AllocsPerOp: 0},
+	}, nil, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestDiffResultsNames(t *testing.T) {
+	old := map[string]Result{"BenchmarkA": {NsPerOp: 100}, "BenchmarkGone": {NsPerOp: 1}}
+	new := map[string]Result{"BenchmarkA": {NsPerOp: 500}, "BenchmarkNew": {NsPerOp: 1}}
+	// Unnamed: only the common benchmark is compared (and flagged).
+	regs, err := diffResults(old, new, nil, 0.25)
+	if err != nil || len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+		t.Fatalf("common-set diff wrong: regs=%v err=%v", regs, err)
+	}
+	// A named benchmark missing on either side is an error, not a skip.
+	if _, err := diffResults(old, new, []string{"BenchmarkGone"}, 0.25); err == nil {
+		t.Fatal("missing-from-new benchmark accepted")
+	}
+	if _, err := diffResults(old, new, []string{"BenchmarkNew"}, 0.25); err == nil {
+		t.Fatal("missing-from-baseline benchmark accepted")
+	}
+	// Naming restricts the check: BenchmarkA's regression is ignored
+	// when only a clean benchmark is named.
+	old["BenchmarkClean"] = Result{NsPerOp: 1}
+	new["BenchmarkClean"] = Result{NsPerOp: 1}
+	regs, err = diffResults(old, new, []string{"BenchmarkClean"}, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("named restriction leaked: regs=%v err=%v", regs, err)
+	}
+}

@@ -62,13 +62,16 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
+	// Unknown registry ids (protocol, scenario, workload) all behave the
+	// same way: print the matching catalog and exit 1. Structural flag
+	// misuse keeps the conventional exit 2.
 	spec, ok := netsim.ParseProtocol(*protocol)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown protocol %q; registered protocols:\n", *protocol)
 		for _, name := range netsim.ProtocolNames() {
 			fmt.Fprintf(os.Stderr, "  %s\n", name)
 		}
-		os.Exit(2)
+		os.Exit(1)
 	}
 
 	var sc netsim.Scenario
@@ -94,7 +97,7 @@ func main() {
 			for _, d := range netsim.Scenarios() {
 				fmt.Fprintf(os.Stderr, "  %-15s %s\n", d.Name, d.Description)
 			}
-			os.Exit(2)
+			os.Exit(1)
 		}
 		sc = def.Instantiate(*seed)
 		if explicit["protocol"] && spec.String() != sc.Protocol.String() {
@@ -172,10 +175,10 @@ func main() {
 			spec, ok := netsim.ParseWorkload(*wkld)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown workload %q; registered workloads:\n", *wkld)
-				for _, name := range netsim.WorkloadNames() {
-					fmt.Fprintf(os.Stderr, "  %s\n", name)
+				for _, d := range netsim.Workloads() {
+					fmt.Fprintf(os.Stderr, "  %-12s %s\n", d.Name, d.Description)
 				}
-				os.Exit(2)
+				os.Exit(1)
 			}
 			sc.Workload = spec
 		}

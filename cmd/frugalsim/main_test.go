@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFrugalsim compiles the command once into a temp dir; the
+// unknown-id paths end in os.Exit, so they are pinned end-to-end
+// through the real binary rather than in-process.
+func buildFrugalsim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "frugalsim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestUnknownIDsPrintCatalogAndExit1 pins the three unknown-id paths to
+// the same contract: print the matching registry catalog on stderr and
+// exit 1 (structural flag misuse stays exit 2, see below).
+func TestUnknownIDsPrintCatalogAndExit1(t *testing.T) {
+	bin := buildFrugalsim(t)
+	cases := []struct {
+		flag  string
+		wants []string // catalog entries that must be listed
+	}{
+		{"-protocol", []string{"unknown protocol", "frugal", "gossip-pushpull", "simple-flooding"}},
+		{"-scenario", []string{"unknown scenario", "campus", "manhattan", "metro-10k"}},
+		{"-workload", []string{"unknown workload", "poisson", "churn-nodes", "diurnal"}},
+	}
+	for _, c := range cases {
+		t.Run(c.flag, func(t *testing.T) {
+			cmd := exec.Command(bin, c.flag, "no-such-id")
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("%s no-such-id: err = %v, want non-zero exit", c.flag, err)
+			}
+			if code := ee.ExitCode(); code != 1 {
+				t.Fatalf("%s no-such-id exited %d, want 1\nstderr:\n%s", c.flag, code, stderr.String())
+			}
+			for _, w := range c.wants {
+				if !strings.Contains(stderr.String(), w) {
+					t.Fatalf("%s no-such-id stderr lacks %q:\n%s", c.flag, w, stderr.String())
+				}
+			}
+		})
+	}
+}
+
+// TestFlagMisuseKeepsExit2 pins the boundary: a structurally invalid
+// invocation (an ad-hoc flag combined with -scenario) is usage error 2,
+// distinct from the unknown-id exit 1.
+func TestFlagMisuseKeepsExit2(t *testing.T) {
+	bin := buildFrugalsim(t)
+	cmd := exec.Command(bin, "-scenario", "campus", "-nodes", "5")
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("err = %v, want non-zero exit", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("flag misuse exited %d, want 2", code)
+	}
+}

@@ -73,10 +73,19 @@
 //	rush-hour        diurnal Zipf traffic on the Manhattan grid: 40
 //	                 vehicles, a commute ramp over skewed subtopics
 //	                 (the diurnal workload)
+//	metro-5k         city-scale VANET (Heavy): 5k vehicles on a 36x28
+//	                 metro grid (~11.4 km^2), diurnal Zipf traffic with
+//	                 churn waves
+//	metro-10k        10k vehicles on a 50x39 metro grid (~22.5 km^2;
+//	                 the city grows with the roster at constant ~440
+//	                 vehicles/km^2, see netsim.MetroGraphDims) (Heavy)
 //
-// Every catalog entry is swept against every registered protocol; a
-// default-scale sweep (3 seeds x 7 protocols) finishes in about a
-// second.
+// Every non-Heavy catalog entry is swept against every registered
+// protocol; a default-scale sweep (3 seeds x 7 protocols) finishes in
+// about a second. Heavy entries (the metro city sweeps) are excluded
+// from the registry-wide families and the golden suite — reach them
+// with -scenario, the "scale" experiment family (node count 300→10k,
+// frugal vs gossip vs flood) or BenchmarkMetroSweep.
 //
 // The vehicular environments are backed by two mobility models layered
 // on the street-graph machinery (mobility.Manhattan, mobility.Highway);

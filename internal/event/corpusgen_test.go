@@ -1,0 +1,39 @@
+package event
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate the checked-in fuzz seeds")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzMessageRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range fuzzSeedMessages() {
+		write(fmt.Sprintf("seed-%02d", i), Marshal(m))
+	}
+	wire := Marshal(fuzzSeedMessages()[5])
+	write("seed-truncated", wire[:len(wire)/2])
+	write("seed-badkind", []byte{0xFF, 1, 2, 3})
+	edir := filepath.Join("testdata", "fuzz", "FuzzEventRoundTrip")
+	if err := os.MkdirAll(edir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	eseed := "go test fuzz v1\nuint64(18446744073709551615)\nuint64(1)\nstring(\".app.news\")\nuint32(4294967295)\nint64(9223372036854775807)\nint64(-1)\n[]byte(\"pp\")\n"
+	if err := os.WriteFile(filepath.Join(edir, "seed-00"), []byte(eseed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -97,6 +97,7 @@ func All() []Definition {
 		{"ext-storm", "Extension: frugal vs broadcast-storm schemes (Ni et al.)", ExtStorm},
 		{"scenarios", "Extension: every registered protocol across every registered scenario (see -scenario, -proto)", Scenarios},
 		{"workloads", "Extension: every registered workload generator on the reference waypoint environment (see -workload)", Workloads},
+		{"scale", "Extension: metro city sweep 300→10k nodes, frugal vs gossip vs flood (minutes; -full reaches 10k)", Scale},
 	}
 }
 

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+)
+
+// scalePanel is the fixed protocol panel of the scale family: the
+// paper's protocol against the push-pull gossip baseline and the best
+// flooding alternative. Unlike the registry-backed scenarios family
+// the panel is pinned — the point is how each class scales with N, not
+// registry coverage — so Options.Protocol is ignored here, like in the
+// figure sweeps.
+func scalePanel(tmpl netsim.ProtocolSpec) []netsim.ProtocolSpec {
+	return []netsim.ProtocolSpec{
+		tmpl, // frugal with the metro tuning
+		{Name: "gossip-pushpull"},
+		{Name: "interests-aware-flooding"},
+	}
+}
+
+// scaleCounts returns the node-count axis: city-block to city scale.
+func scaleCounts(full bool) []int {
+	if full {
+		return []int{300, 1000, 2500, 5000, 10000}
+	}
+	return []int{300, 600, 1200, 2500}
+}
+
+// Scale is the city-sweep experiment: the metro environment (the
+// metro-5k/metro-10k registry template) swept over node count for
+// frugal vs gossip vs flooding. The city grows with the roster at the
+// metro family's constant ~440 vehicles/km^2 (netsim.MetroGraphDims) —
+// the honest scaling axis, since packing a fixed area denser inflates
+// per-frame reception work quadratically and measures congestion, not
+// scale. The default run climbs 300→2500 nodes on a shortened
+// measurement window; -full runs the template's full window up to the
+// 10k-node city. One seed per point by default — each point is a whole
+// city simulation — so expect minutes, not seconds.
+func Scale(o Options) (*Output, error) {
+	def, ok := netsim.LookupScenario("metro-5k")
+	if !ok {
+		return nil, fmt.Errorf("exp: metro scenario family not registered")
+	}
+	counts := scaleCounts(o.Full)
+	seeds := o.seedCount(1)
+	panel := scalePanel(def.Template.Protocol)
+	type sample struct {
+		rel, sent, dups, bytes, lost float64
+	}
+	samples, err := runGrid(o, []int{len(counts), len(panel), seeds},
+		func(ix []int) (sample, error) {
+			sc := def.Instantiate(int64(ix[2]) + 1)
+			sc.Nodes = counts[ix[0]]
+			sc.Protocol = panel[ix[1]]
+			cols, rows := netsim.MetroGraphDims(sc.Nodes)
+			sc.Mobility.Graph = mobility.NewManhattanStyleGraph(cols, rows)
+			if !o.Full {
+				// Scaling shape, not absolute reproduction: a shorter
+				// window keeps the default sweep in minutes.
+				sc.Warmup = 5 * time.Second
+				sc.Measure = 30 * time.Second
+			}
+			res, err := netsim.Run(sc)
+			if err != nil {
+				return sample{}, fmt.Errorf("scale %d nodes, %v: %w", sc.Nodes, sc.Protocol, err)
+			}
+			return sample{
+				rel:   res.Reliability(),
+				sent:  res.EventsSentPerProcess(),
+				dups:  res.DuplicatesPerProcess(),
+				bytes: res.AppBytesPerProcess(),
+				lost:  float64(res.FramesLostTotal()),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Scale — metro city sweep, %d seed(s) per point (frugal vs gossip vs flood)", seeds),
+		"nodes", "protocol", "reliability", "copies/proc", "dups/proc", "bandwidth", "frames lost")
+	for ci, n := range counts {
+		for pi, spec := range panel {
+			var rel, sent, dups, bytes, lost metrics.Agg
+			for s := 0; s < seeds; s++ {
+				v := samples.At(ci, pi, s)
+				rel.Add(v.rel)
+				sent.Add(v.sent)
+				dups.Add(v.dups)
+				bytes.Add(v.bytes)
+				lost.Add(v.lost)
+			}
+			tb.AddRow(fmt.Sprintf("%d", n), spec.String(), metrics.Pct(rel.Mean()),
+				metrics.F1(sent.Mean()), metrics.F1(dups.Mean()), metrics.KB(bytes.Mean()),
+				fmt.Sprintf("%.0f", lost.Mean()))
+			o.progress("scale %d %v -> %s", n, spec, metrics.Pct(rel.Mean()))
+		}
+	}
+	return &Output{Tables: []*metrics.Table{tb}}, nil
+}

@@ -38,23 +38,42 @@ func TestScenarioSweepParallelismInvariance(t *testing.T) {
 }
 
 // TestScenariosFamilyCoversRegistry runs the whole family once and
-// checks it produces one table per registered scenario, in registry
-// order — no scenario can be silently skipped.
+// checks it produces one table per registered non-heavy scenario, in
+// registry order — no scenario can be silently skipped, and the heavy
+// metro sweeps must stay out of the default family (they run behind
+// the "scale" family and explicit -scenario requests).
 func TestScenariosFamilyCoversRegistry(t *testing.T) {
 	defs := netsim.Scenarios()
 	out, err := Scenarios(Options{Seeds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Tables) != len(defs) {
-		t.Fatalf("family produced %d tables for %d registered scenarios",
-			len(out.Tables), len(defs))
+	light := 0
+	for _, d := range defs {
+		if !d.Heavy {
+			light++
+		}
 	}
+	if len(out.Tables) != light {
+		t.Fatalf("family produced %d tables for %d registered non-heavy scenarios",
+			len(out.Tables), light)
+	}
+	heavySeen := false
 	rendered := out.String()
 	for _, d := range defs {
+		if d.Heavy {
+			heavySeen = true
+			if strings.Contains(rendered, "Scenario "+d.Name+" ") {
+				t.Fatalf("heavy scenario %q swept by the default family", d.Name)
+			}
+			continue
+		}
 		if !strings.Contains(rendered, "Scenario "+d.Name+" ") {
 			t.Fatalf("no table for registered scenario %q", d.Name)
 		}
+	}
+	if !heavySeen {
+		t.Fatal("no heavy scenario registered (metro family missing)")
 	}
 }
 

@@ -86,20 +86,22 @@ func (g *Grid[T]) Remove(v T) {
 }
 
 // drop removes v from bucket c, preserving the order of the remaining
-// values (so VisitDisc stays deterministic under churn).
+// values (so VisitDisc stays deterministic under churn). An emptied
+// bucket keeps its map entry and capacity: the MAC transmission index
+// constantly cycles values through the same cells, and re-allocating
+// the bucket on every revisit was its last per-frame allocation.
 func (g *Grid[T]) drop(v T, c Cell) {
 	b := g.buckets[c]
 	for i, x := range b {
 		if x == v {
-			b = append(b[:i], b[i+1:]...)
+			copy(b[i:], b[i+1:])
+			var zero T
+			b[len(b)-1] = zero
+			b = b[:len(b)-1]
 			break
 		}
 	}
-	if len(b) == 0 {
-		delete(g.buckets, c)
-	} else {
-		g.buckets[c] = b
-	}
+	g.buckets[c] = b
 }
 
 // Pos returns the recorded position of v.
@@ -115,6 +117,27 @@ func (g *Grid[T]) Len() int { return len(g.entries) }
 func (g *Grid[T]) Clear() {
 	clear(g.buckets)
 	clear(g.entries)
+}
+
+// AppendDisc appends to buf every value whose recorded position lies
+// in a cell intersecting the axis-aligned bounding square of the disc
+// (p, r) and returns the extended buffer. Like VisitDisc it is a
+// superset of the disc and callers must re-check exact distances, but
+// it takes no callback: a query with a reused buffer allocates
+// nothing, which is what the MAC hot path needs. A negative radius
+// appends nothing.
+func (g *Grid[T]) AppendDisc(p Point, r float64, buf []T) []T {
+	if r < 0 {
+		return buf
+	}
+	lo := g.CellOf(Point{X: p.X - r, Y: p.Y - r})
+	hi := g.CellOf(Point{X: p.X + r, Y: p.Y + r})
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			buf = append(buf, g.buckets[Cell{X: cx, Y: cy}]...)
+		}
+	}
+	return buf
 }
 
 // VisitDisc calls fn for every value whose recorded position lies in a

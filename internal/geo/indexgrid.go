@@ -1,0 +1,120 @@
+package geo
+
+import "math"
+
+// IndexGrid is a uniform spatial hash specialized for a dense integer
+// key space [0, n) — the MAC medium's node roster. Compared to the
+// generic Grid it stores per-key state in a flat slice instead of a
+// map, and Relocate re-buckets a key only when its position crossed a
+// cell boundary, so the periodic index refresh of N moving nodes costs
+// N cell computations but only touches buckets for the nodes that
+// actually moved cells — the "incremental re-bucketing" half of the
+// medium's allocation-flat contract.
+//
+// Only the containing cell of each key is recorded, not the exact
+// position: the medium's queries are conservative supersets re-checked
+// against exact positions anyway (see Grid), so storing the position
+// would buy nothing and cost a write per refresh per node.
+//
+// Iteration order of AppendDisc is deterministic — cells in row-major
+// order, keys within a cell in bucket order; callers that need a
+// canonical order (the medium sorts by attach rank) must sort, since
+// bucket order depends on movement history.
+type IndexGrid struct {
+	size    float64 // cell edge length, meters
+	inv     float64 // 1/size
+	buckets map[Cell][]int32
+	cells   []indexCell // key -> containing cell
+}
+
+type indexCell struct {
+	cell Cell
+	in   bool
+}
+
+// NewIndexGrid returns an empty grid with the given cell edge length
+// over keys [0, n). It panics on a non-positive size.
+func NewIndexGrid(cellSize float64, n int) *IndexGrid {
+	if cellSize <= 0 {
+		panic("geo: non-positive grid cell size")
+	}
+	return &IndexGrid{
+		size:    cellSize,
+		inv:     1 / cellSize,
+		buckets: make(map[Cell][]int32),
+		cells:   make([]indexCell, n),
+	}
+}
+
+// CellOf returns the cell containing p.
+func (g *IndexGrid) CellOf(p Point) Cell {
+	return Cell{
+		X: int(math.Floor(p.X * g.inv)),
+		Y: int(math.Floor(p.Y * g.inv)),
+	}
+}
+
+// Relocate records key k at position p, moving it between buckets only
+// if its containing cell changed. Keys outside [0, n) panic.
+func (g *IndexGrid) Relocate(k int32, p Point) {
+	c := g.CellOf(p)
+	e := &g.cells[k]
+	if e.in {
+		if e.cell == c {
+			return
+		}
+		g.drop(k, e.cell)
+	}
+	g.buckets[c] = append(g.buckets[c], k)
+	e.cell = c
+	e.in = true
+}
+
+// drop removes k from bucket c, preserving the order of the remaining
+// keys (so AppendDisc stays deterministic under churn). Like Grid.drop,
+// an emptied bucket keeps its map entry and capacity: nodes cycle
+// through the same cells as they move, and re-allocating the bucket on
+// every revisit would put an allocation back on the refresh path.
+func (g *IndexGrid) drop(k int32, c Cell) {
+	b := g.buckets[c]
+	for i, x := range b {
+		if x == k {
+			copy(b[i:], b[i+1:])
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	g.buckets[c] = b
+}
+
+// Keys returns the size n of the key space the grid was created for.
+func (g *IndexGrid) Keys() int { return len(g.cells) }
+
+// Len returns the number of keys recorded so far.
+func (g *IndexGrid) Len() int {
+	n := 0
+	for _, b := range g.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// AppendDisc appends to buf every key whose containing cell intersects
+// the axis-aligned bounding square of the disc (p, r) and returns the
+// extended buffer. Like Grid.VisitDisc it is a superset of the disc —
+// callers must re-check exact distances — but takes no callback, so a
+// query with a reused buffer allocates nothing. A negative radius
+// appends nothing.
+func (g *IndexGrid) AppendDisc(p Point, r float64, buf []int32) []int32 {
+	if r < 0 {
+		return buf
+	}
+	lo := g.CellOf(Point{X: p.X - r, Y: p.Y - r})
+	hi := g.CellOf(Point{X: p.X + r, Y: p.Y + r})
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			buf = append(buf, g.buckets[Cell{X: cx, Y: cy}]...)
+		}
+	}
+	return buf
+}

@@ -162,9 +162,12 @@ type Frame struct {
 	AppBytes int
 }
 
-// transmission is one on-air frame.
+// transmission is one on-air frame. Records are pooled by the medium;
+// owner backs the pool's constant-time return to the sender's
+// half-duplex history.
 type transmission struct {
 	from       event.NodeID
+	owner      *Port
 	pos        geo.Point
 	start, end sim.Time
 }
@@ -189,28 +192,37 @@ type Counters struct {
 // running the simulation. Medium is driven entirely by the sim engine and
 // is not safe for concurrent use.
 //
-// Internally the medium keeps two spatial indexes (internal/geo.Grid):
-// node positions, refreshed per Config.SpeedBounded and queried with a
-// staleness margin to find receivers, and live-transmission origins,
-// maintained exactly, to answer carrier-sense and interference queries.
-// Both indexes are conservative supersets followed by the exact
-// distance checks of the reference full scan, so results — including
-// the RNG draw sequence of probabilistic reception — are frame-for-frame
-// identical to Config.FullScan.
+// Internally the medium keeps two spatial indexes: node positions in a
+// dense geo.IndexGrid keyed by attach rank, refreshed per
+// Config.SpeedBounded (re-bucketing only the nodes that crossed a cell
+// boundary) and queried with a staleness margin to find receivers, and
+// live-transmission origins in a geo.Grid, maintained exactly, to
+// answer carrier-sense and interference queries. Both indexes are
+// conservative supersets followed by the exact distance checks of the
+// reference full scan, so results — including the RNG draw sequence of
+// probabilistic reception — are frame-for-frame identical to
+// Config.FullScan.
+//
+// The per-frame paths reuse scratch buffers and pool transmission
+// records and engine timers: once warm, broadcasting allocates nothing
+// (see BenchmarkMACBroadcastAllocs), which is what keeps churny
+// 10k-node sweeps allocation-flat.
 type Medium struct {
-	eng      *sim.Engine
-	cfg      Config
-	loc      Locator
-	rng      *rand.Rand
-	ports    map[event.NodeID]*Port
-	order    []event.NodeID       // deterministic iteration order
-	orderIdx map[event.NodeID]int // id -> attach rank, to sort grid hits
+	eng   *sim.Engine
+	cfg   Config
+	loc   Locator
+	rng   *rand.Rand
+	ports []*Port              // by attach rank
+	order []event.NodeID       // rank -> id, deterministic iteration order
+	rank  map[event.NodeID]int // id -> attach rank
 
-	live []*transmission // on-air or recently ended (pruned lazily)
+	live     []*transmission // on-air or recently ended (pruned FIFO)
+	liveHead int             // consumed prefix of live
+	txFree   []*transmission // recycled transmission records
 
-	// nodeGrid buckets node positions recorded at nodeGridAt; queries
-	// pad radii by margin to cover movement since then.
-	nodeGrid      *geo.Grid[event.NodeID]
+	// nodeGrid buckets node positions (by attach rank) recorded at
+	// nodeGridAt; queries pad radii by margin to cover movement since.
+	nodeGrid      *geo.IndexGrid
 	nodeGridAt    sim.Time
 	nodeGridBuilt bool
 	staleAfter    time.Duration
@@ -219,7 +231,9 @@ type Medium struct {
 	// txGrid buckets live transmissions by their (fixed) origin.
 	txGrid *geo.Grid[*transmission]
 
-	scratch []event.NodeID // receiver-candidate reuse buffer
+	scratch   []int32         // receiver-candidate reuse buffer (ranks)
+	txScratch []*transmission // carrier-sense/interference reuse buffer
+	allRanks  []int32         // 0..n-1, the FullScan "candidate set"
 }
 
 // New creates a medium. It panics on invalid configuration.
@@ -228,14 +242,12 @@ func New(eng *sim.Engine, cfg Config, loc Locator) *Medium {
 		panic(err)
 	}
 	m := &Medium{
-		eng:      eng,
-		cfg:      cfg,
-		loc:      loc,
-		rng:      eng.NewRand(),
-		ports:    make(map[event.NodeID]*Port),
-		orderIdx: make(map[event.NodeID]int),
-		nodeGrid: geo.NewGrid[event.NodeID](cfg.Range),
-		txGrid:   geo.NewGrid[*transmission](max(cfg.csRange(), cfg.ifRange())),
+		eng:    eng,
+		cfg:    cfg,
+		loc:    loc,
+		rng:    eng.NewRand(),
+		rank:   make(map[event.NodeID]int),
+		txGrid: geo.NewGrid[*transmission](max(cfg.csRange(), cfg.ifRange())),
 	}
 	if cfg.SpeedBounded {
 		m.staleAfter = cfg.gridRefresh()
@@ -250,13 +262,20 @@ func (m *Medium) Config() Config { return m.cfg }
 // Attach registers node id with receive callback rx (may be nil for a
 // deaf node) and returns its port. Attaching the same id twice panics.
 func (m *Medium) Attach(id event.NodeID, rx func(Frame)) *Port {
-	if _, dup := m.ports[id]; dup {
+	if _, dup := m.rank[id]; dup {
 		panic(fmt.Sprintf("mac: node %v attached twice", id))
 	}
-	p := &Port{m: m, id: id, rx: rx}
-	m.ports[id] = p
-	m.orderIdx[id] = len(m.order)
+	p := &Port{m: m, id: id, rank: int32(len(m.order)), rx: rx}
+	// Bind the contention-round callbacks once: the engine schedules
+	// them thousands of times per node, and a method value costs an
+	// allocation at every use.
+	p.attemptFn = p.attempt
+	p.startTxFn = p.startTx
+	p.finishFn = p.finishCur
+	m.rank[id] = len(m.order)
 	m.order = append(m.order, id)
+	m.ports = append(m.ports, p)
+	m.allRanks = append(m.allRanks, p.rank)
 	m.nodeGridBuilt = false // new roster member: rebuild on next query
 	return p
 }
@@ -265,13 +284,21 @@ func (m *Medium) Attach(id event.NodeID, rx func(Frame)) *Port {
 type Port struct {
 	m       *Medium
 	id      event.NodeID
+	rank    int32
 	rx      func(Frame)
 	queue   []Frame
+	qhead   int // consumed prefix of queue
 	sending bool
 	c       Counters
+	// curTx is the in-flight transmission (one at most: the next
+	// contention round starts only after finishCur).
+	curTx *transmission
 	// recent holds this port's transmissions still tracked in
 	// Medium.live; it backs the exact half-duplex check.
 	recent []*transmission
+
+	// pre-bound engine callbacks (see Attach).
+	attemptFn, startTxFn, finishFn func()
 }
 
 // ID returns the attached node id.
@@ -285,9 +312,23 @@ func (p *Port) Counters() Counters { return p.c }
 // sensing, back-off and airtime; there is no feedback to the sender, as
 // with real broadcast frames.
 func (p *Port) Broadcast(msg event.Message, appBytes int) {
-	if p.m.cfg.QueueCap > 0 && len(p.queue) >= p.m.cfg.QueueCap {
+	if p.m.cfg.QueueCap > 0 && len(p.queue)-p.qhead >= p.m.cfg.QueueCap {
 		p.c.QueueDrops++
 		return
+	}
+	if p.qhead > 0 && p.qhead == len(p.queue) {
+		// Queue drained: restart at the front of the backing array so
+		// steady-state traffic reuses it instead of growing it.
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	} else if p.qhead >= 64 && p.qhead*2 >= len(p.queue) {
+		// Never-drained backlog (saturated channel): compact the
+		// consumed prefix away, or the backing array grows with total
+		// frames sent instead of with the live backlog.
+		n := copy(p.queue, p.queue[p.qhead:])
+		clear(p.queue[n:])
+		p.queue = p.queue[:n]
+		p.qhead = 0
 	}
 	p.queue = append(p.queue, Frame{From: p.id, Msg: msg, AppBytes: appBytes})
 	if !p.sending {
@@ -304,11 +345,11 @@ func (p *Port) attempt() {
 	if until, busy := m.busyUntil(p.id, pos, now); busy {
 		p.c.Defers++
 		jitter := time.Duration(m.rng.Intn(m.cfg.CWSlots)) * m.cfg.SlotTime
-		m.eng.At(until.Add(m.cfg.DIFS+jitter), p.attempt)
+		m.eng.Schedule(until.Add(m.cfg.DIFS+jitter), p.attemptFn)
 		return
 	}
 	backoff := m.cfg.DIFS + time.Duration(m.rng.Intn(m.cfg.CWSlots))*m.cfg.SlotTime
-	m.eng.After(backoff, p.startTx)
+	m.eng.ScheduleAfter(backoff, p.startTxFn)
 }
 
 // startTx begins transmission if the channel is still idle, otherwise
@@ -321,32 +362,36 @@ func (p *Port) startTx() {
 		p.attempt()
 		return
 	}
-	frame := p.queue[0]
-	tx := &transmission{
-		from:  p.id,
-		pos:   pos,
-		start: now,
-		end:   now.Add(m.cfg.Airtime(frame.AppBytes)),
-	}
+	frame := &p.queue[p.qhead]
+	tx := m.newTransmission()
+	tx.from = p.id
+	tx.owner = p
+	tx.pos = pos
+	tx.start = now
+	tx.end = now.Add(m.cfg.Airtime(frame.AppBytes))
 	m.live = append(m.live, tx)
 	m.txGrid.Put(tx, tx.pos)
 	p.recent = append(p.recent, tx)
+	p.curTx = tx
 	p.c.FramesSent++
 	p.c.AppBytesSent += uint64(frame.AppBytes)
 	p.c.MACBytesSent += uint64(frame.AppBytes + m.cfg.HeaderBytes)
-	m.eng.At(tx.end, func() { p.finishTx(tx, frame) })
+	m.eng.Schedule(tx.end, p.finishFn)
 }
 
-// finishTx delivers the frame to every receiver that heard it cleanly and
-// then continues with the queue.
-func (p *Port) finishTx(tx *transmission, frame Frame) {
+// finishCur delivers the in-flight frame to every receiver that heard
+// it cleanly and then continues with the queue.
+func (p *Port) finishCur() {
 	m := p.m
-	for _, id := range m.receivers(tx) {
-		if id == p.id {
+	tx := p.curTx
+	p.curTx = nil
+	frame := p.queue[p.qhead]
+	for _, rank := range m.receivers(tx) {
+		if rank == p.rank {
 			continue
 		}
-		q := m.ports[id]
-		rpos := m.loc.Position(id, tx.end)
+		q := m.ports[rank]
+		rpos := m.loc.Position(q.id, tx.end)
 		d := tx.pos.Dist(rpos)
 		if d > m.cfg.Range {
 			continue // out of range: not even noise
@@ -355,7 +400,7 @@ func (p *Port) finishTx(tx *transmission, frame Frame) {
 			q.c.FramesFaded++
 			continue
 		}
-		if m.corrupted(tx, id, rpos) {
+		if m.corrupted(tx, q, rpos) {
 			q.c.FramesLost++
 			continue
 		}
@@ -365,39 +410,36 @@ func (p *Port) finishTx(tx *transmission, frame Frame) {
 		}
 	}
 	m.prune()
-	p.queue = p.queue[1:]
-	if len(p.queue) > 0 {
+	p.queue[p.qhead] = Frame{}
+	p.qhead++
+	if p.qhead < len(p.queue) {
 		p.attempt()
 	} else {
 		p.sending = false
 	}
 }
 
-// receivers returns the node ids to consider as receivers of tx, in
-// attach order. The grid path returns every node whose recorded
-// position lies within Range plus the staleness margin — a superset of
-// the true in-range set; finishTx re-checks exact current distances, so
+// receivers returns the attach ranks to consider as receivers of tx, in
+// attach order. The grid path returns every node whose recorded cell
+// lies within Range plus the staleness margin — a superset of the true
+// in-range set; finishCur re-checks exact current distances, so
 // delivery (and the RNG draw sequence under ReceiveProb) is identical
 // to the FullScan roster walk.
-func (m *Medium) receivers(tx *transmission) []event.NodeID {
+func (m *Medium) receivers(tx *transmission) []int32 {
 	if m.cfg.FullScan {
-		return m.order
+		return m.allRanks
 	}
 	m.ensureNodeGrid(tx.end)
-	m.scratch = m.scratch[:0]
-	m.nodeGrid.VisitDisc(tx.pos, m.cfg.Range+m.margin, func(id event.NodeID, _ geo.Point) {
-		m.scratch = append(m.scratch, id)
-	})
-	slices.SortFunc(m.scratch, func(a, b event.NodeID) int {
-		return m.orderIdx[a] - m.orderIdx[b]
-	})
+	m.scratch = m.nodeGrid.AppendDisc(tx.pos, m.cfg.Range+m.margin, m.scratch[:0])
+	slices.Sort(m.scratch) // bucket order depends on movement history
 	return m.scratch
 }
 
-// ensureNodeGrid re-buckets every node's position at now unless the
-// index is still fresh: under SpeedBounded it survives for the refresh
-// period (forever when MaxSpeed is 0 — static nodes), otherwise any
-// clock advance invalidates it.
+// ensureNodeGrid refreshes the node index at now unless it is still
+// fresh: under SpeedBounded it survives for the refresh period (forever
+// when MaxSpeed is 0 — static nodes), otherwise any clock advance
+// invalidates it. A refresh recomputes every node's position but
+// re-buckets only the nodes that crossed a cell boundary.
 func (m *Medium) ensureNodeGrid(now sim.Time) {
 	if m.nodeGridBuilt {
 		if m.cfg.SpeedBounded && m.cfg.MaxSpeed == 0 {
@@ -407,9 +449,11 @@ func (m *Medium) ensureNodeGrid(now sim.Time) {
 			return
 		}
 	}
-	m.nodeGrid.Clear()
-	for _, id := range m.order {
-		m.nodeGrid.Put(id, m.loc.Position(id, now))
+	if m.nodeGrid == nil || m.nodeGrid.Keys() != len(m.order) {
+		m.nodeGrid = geo.NewIndexGrid(m.cfg.Range, len(m.order))
+	}
+	for rank, id := range m.order {
+		m.nodeGrid.Relocate(int32(rank), m.loc.Position(id, now))
 	}
 	m.nodeGridAt = now
 	m.nodeGridBuilt = true
@@ -422,9 +466,16 @@ func (m *Medium) ensureNodeGrid(now sim.Time) {
 func (m *Medium) busyUntil(self event.NodeID, pos geo.Point, now sim.Time) (sim.Time, bool) {
 	var until sim.Time
 	busy := false
-	sense := func(t *transmission) {
+	cand := m.live[m.liveHead:]
+	if !m.cfg.FullScan {
+		// Transmission origins are fixed, so the index is exact: no
+		// margin needed.
+		m.txScratch = m.txGrid.AppendDisc(pos, m.cfg.csRange(), m.txScratch[:0])
+		cand = m.txScratch
+	}
+	for _, t := range cand {
 		if t.from == self || t.end <= now || t.start >= now {
-			return
+			continue
 		}
 		if t.pos.Dist(pos) <= m.cfg.csRange() {
 			busy = true
@@ -433,31 +484,21 @@ func (m *Medium) busyUntil(self event.NodeID, pos geo.Point, now sim.Time) (sim.
 			}
 		}
 	}
-	if m.cfg.FullScan {
-		for _, t := range m.live {
-			sense(t)
-		}
-	} else {
-		// Transmission origins are fixed, so the index is exact: no
-		// margin needed.
-		m.txGrid.VisitDisc(pos, m.cfg.csRange(), func(t *transmission, _ geo.Point) {
-			sense(t)
-		})
-	}
 	return until, busy
 }
 
-// corrupted reports whether reception of tx at node r (located at rpos)
-// fails, either because r was itself transmitting (half-duplex) or
-// because a concurrent foreign transmission interfered (hidden terminal).
-func (m *Medium) corrupted(tx *transmission, r event.NodeID, rpos geo.Point) bool {
+// corrupted reports whether reception of tx at port q fails, either
+// because q was itself transmitting (half-duplex) or because a
+// concurrent foreign transmission interfered (hidden terminal). rpos is
+// q's position at the reception instant.
+func (m *Medium) corrupted(tx *transmission, q *Port, rpos geo.Point) bool {
 	if m.cfg.FullScan {
-		for _, t := range m.live {
+		for _, t := range m.live[m.liveHead:] {
 			if t == tx || !t.overlaps(tx) {
 				continue
 			}
-			if t.from == r {
-				return true // half-duplex: r was talking
+			if t.from == q.id {
+				return true // half-duplex: q was talking
 			}
 			if t.pos.Dist(rpos) <= m.cfg.ifRange() {
 				return true // interference at the receiver
@@ -465,42 +506,64 @@ func (m *Medium) corrupted(tx *transmission, r event.NodeID, rpos geo.Point) boo
 		}
 		return false
 	}
-	// Half-duplex: r's own overlapping transmissions, wherever they
+	// Half-duplex: q's own overlapping transmissions, wherever they
 	// started (the full scan does not distance-filter this case).
-	for _, t := range m.ports[r].recent {
+	for _, t := range q.recent {
 		if t.overlaps(tx) {
 			return true
 		}
 	}
-	corr := false
-	m.txGrid.VisitDisc(rpos, m.cfg.ifRange(), func(t *transmission, _ geo.Point) {
-		if corr || t == tx || t.from == r || !t.overlaps(tx) {
-			return
+	m.txScratch = m.txGrid.AppendDisc(rpos, m.cfg.ifRange(), m.txScratch[:0])
+	for _, t := range m.txScratch {
+		if t == tx || t.from == q.id || !t.overlaps(tx) {
+			continue
 		}
 		if t.pos.Dist(rpos) <= m.cfg.ifRange() {
-			corr = true // interference at the receiver
+			return true // interference at the receiver
 		}
-	})
-	return corr
+	}
+	return false
 }
 
-// prune drops transmissions that can no longer overlap anything on air.
+// port returns the port attached as id (tests and diagnostics; the hot
+// paths address ports by attach rank).
+func (m *Medium) port(id event.NodeID) *Port { return m.ports[m.rank[id]] }
+
+// newTransmission takes a record from the pool.
+func (m *Medium) newTransmission() *transmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return t
+	}
+	return &transmission{}
+}
+
+// prune drops transmissions that can no longer overlap anything on air,
+// consuming the FIFO front of live (start order approximates end order;
+// an entry blocked behind a longer airtime lingers a little, which is
+// outcome-neutral — expired transmissions sense as idle and cannot
+// overlap current frames). Records are recycled through the pool.
 func (m *Medium) prune() {
 	now := m.eng.Now()
 	const keep = sim.Time(100 * sim.Millisecond)
-	kept := m.live[:0]
-	for _, t := range m.live {
+	for m.liveHead < len(m.live) {
+		t := m.live[m.liveHead]
 		if t.end+keep > now {
-			kept = append(kept, t)
-		} else {
-			m.txGrid.Remove(t)
-			m.ports[t.from].dropRecent(t)
+			break
 		}
+		m.txGrid.Remove(t)
+		t.owner.dropRecent(t)
+		m.live[m.liveHead] = nil
+		m.liveHead++
+		*t = transmission{}
+		m.txFree = append(m.txFree, t)
 	}
-	for i := len(kept); i < len(m.live); i++ {
-		m.live[i] = nil
+	if m.liveHead == len(m.live) {
+		m.live = m.live[:0]
+		m.liveHead = 0
 	}
-	m.live = kept
 }
 
 // dropRecent removes t from the port's half-duplex history.

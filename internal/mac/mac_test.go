@@ -168,7 +168,7 @@ func TestHiddenTerminalCollision(t *testing.T) {
 	if len(logB.frames) != 0 {
 		t.Fatalf("hidden-terminal frames delivered: %d", len(logB.frames))
 	}
-	got := m.ports[3].Counters()
+	got := m.port(3).Counters()
 	if got.FramesLost != 2 {
 		t.Fatalf("FramesLost = %d, want 2", got.FramesLost)
 	}
@@ -307,5 +307,52 @@ func TestManyNodesDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic MAC at counter %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+// movingLocator drifts every node along +x at 2 m/s so periodic index
+// refreshes actually relocate nodes across cell boundaries.
+type movingLocator map[event.NodeID]geo.Point
+
+func (l movingLocator) Position(id event.NodeID, at sim.Time) geo.Point {
+	p := l[id]
+	return geo.Pt(p.X+2*at.Seconds(), p.Y)
+}
+
+// TestBroadcastAllocationFlat enforces the allocation-flat contract
+// (see ARCHITECTURE.md "Performance contracts") where CI can see it
+// fail: once the pools and scratch buffers are warm, a steady-state
+// broadcast — contention, airtime, delivery, index refreshes with
+// moving nodes — must not allocate. The roster moves so the
+// IndexGrid.Relocate path (cell-boundary re-bucketing) is exercised,
+// not just the static fast path.
+func TestBroadcastAllocationFlat(t *testing.T) {
+	eng := sim.New(1)
+	const n = 120
+	base := make(movingLocator)
+	for i := event.NodeID(0); i < n; i++ {
+		base[i] = geo.Pt(float64(i%12)*350, float64(i/12)*350)
+	}
+	cfg := DefaultConfig(400)
+	cfg.SpeedBounded = true
+	cfg.MaxSpeed = 2
+	m := New(eng, cfg, base)
+	ports := make([]*Port, n)
+	msgs := make([]event.Message, n)
+	for i := event.NodeID(0); i < n; i++ {
+		ports[i] = m.Attach(i, func(Frame) {})
+		msgs[i] = event.Heartbeat{From: i}
+	}
+	i := 0
+	send := func() {
+		ports[i%n].Broadcast(msgs[i%n], 50)
+		eng.Run()
+		i++
+	}
+	for k := 0; k < 4*n; k++ { // warm pools, scratch buffers and buckets
+		send()
+	}
+	if allocs := testing.AllocsPerRun(400, send); allocs > 0.05 {
+		t.Fatalf("steady-state broadcast allocates %.2f allocs/op, want 0", allocs)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/geo"
 )
@@ -11,9 +12,32 @@ import (
 // Graph is a street network for the city-section model: intersections
 // joined by directed roads with speed limits and popularity weights.
 // Two-way streets are represented as a pair of directed roads.
+//
+// Derived whole-graph state (connectivity, popularity) is memoized on
+// first use and invalidated by mutation: one street network is shared
+// by every vehicle of a run, and recomputing O(V*E) facts per vehicle
+// is what made city-scale rosters quadratic before the metro sweeps.
+// The memoization is guarded by a mutex because a registered scenario
+// template may share one street network across concurrently executing
+// runs (the exp worker pool); a constructed graph is otherwise
+// read-only, which is what makes that sharing sound.
 type Graph struct {
 	points []geo.Point
 	adj    [][]Road
+
+	mu        sync.Mutex
+	validated bool      // Validate passed and no mutation since
+	pop       []float64 // per-intersection popularity, nil until built
+	cumPop    []float64 // prefix sums of pop, nil until built
+}
+
+// mutated invalidates the memoized derived state.
+func (g *Graph) mutated() {
+	g.mu.Lock()
+	g.validated = false
+	g.pop = nil
+	g.cumPop = nil
+	g.mu.Unlock()
 }
 
 // Road is a directed street from an implicit source intersection to
@@ -34,6 +58,7 @@ type Road struct {
 
 // AddIntersection appends an intersection and returns its index.
 func (g *Graph) AddIntersection(p geo.Point) int {
+	g.mutated()
 	g.points = append(g.points, p)
 	g.adj = append(g.adj, nil)
 	return len(g.points) - 1
@@ -56,6 +81,7 @@ func (g *Graph) AddRoad(a, b int, speedLimit, weight float64) error {
 	if speedLimit <= 0 || weight <= 0 {
 		return fmt.Errorf("mobility: bad road params limit=%v weight=%v", speedLimit, weight)
 	}
+	g.mutated()
 	g.adj[a] = append(g.adj[a], Road{
 		To:         b,
 		Length:     g.points[a].Dist(g.points[b]),
@@ -90,20 +116,45 @@ func (g *Graph) MaxSpeedLimit() float64 {
 }
 
 // Popularity returns the sum of weights of roads incident to i (in either
-// direction); used to bias destination choice toward busy spots.
+// direction); used to bias destination choice toward busy spots. All
+// intersections' popularities are built in one O(V+E) edge sweep and
+// memoized — the per-call incoming-edge scan was O(E) and ran V times
+// per vehicle at construction.
 func (g *Graph) Popularity(i int) float64 {
-	var w float64
-	for _, r := range g.adj[i] {
-		w += r.Weight
+	pop, _ := g.buildPopularity()
+	return pop[i]
+}
+
+// cumPopularity returns the memoized prefix sums of Popularity, shared
+// by every traveler on the graph for weighted destination draws. The
+// returned slice is never written again; concurrent travelers may read
+// it freely.
+func (g *Graph) cumPopularity() []float64 {
+	_, cum := g.buildPopularity()
+	return cum
+}
+
+func (g *Graph) buildPopularity() (pop, cum []float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pop != nil {
+		return g.pop, g.cumPop
 	}
+	pop = make([]float64, len(g.points))
 	for a := range g.adj {
 		for _, r := range g.adj[a] {
-			if r.To == i {
-				w += r.Weight
-			}
+			pop[a] += r.Weight
+			pop[r.To] += r.Weight
 		}
 	}
-	return w
+	cum = make([]float64, len(pop))
+	sum := 0.0
+	for i, w := range pop {
+		sum += w
+		cum[i] = sum
+	}
+	g.pop, g.cumPop = pop, cum
+	return pop, cum
 }
 
 // ErrUnreachable is returned when no path exists between intersections.
@@ -168,8 +219,16 @@ func (g *Graph) road(a, b int) (Road, bool) {
 }
 
 // Validate checks that every intersection can reach every other
-// (required for destination choice to always succeed).
+// (required for destination choice to always succeed). The result is
+// memoized until the graph mutates: one shared street network is
+// validated once per vehicle at model construction, and the reverse
+// reachability sweep used to cost O(V*E) every time.
 func (g *Graph) Validate() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.validated {
+		return nil
+	}
 	n := len(g.points)
 	if n == 0 {
 		return errors.New("mobility: empty graph")
@@ -181,10 +240,22 @@ func (g *Graph) Validate() error {
 	if !g.bfsAll(0, true) {
 		return errors.New("mobility: graph not connected (reverse)")
 	}
+	g.validated = true
 	return nil
 }
 
 func (g *Graph) bfsAll(start int, reverse bool) bool {
+	adj := g.adj
+	if reverse {
+		// Materialize the reverse adjacency once: the edge-sweep per
+		// dequeued node was the O(V*E) term.
+		adj = make([][]Road, len(g.points))
+		for a := range g.adj {
+			for _, r := range g.adj[a] {
+				adj[r.To] = append(adj[r.To], Road{To: a})
+			}
+		}
+	}
 	seen := make([]bool, len(g.points))
 	queue := []int{start}
 	seen[start] = true
@@ -192,24 +263,11 @@ func (g *Graph) bfsAll(start int, reverse bool) bool {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		visit := func(next int) {
-			if !seen[next] {
-				seen[next] = true
+		for _, r := range adj[cur] {
+			if !seen[r.To] {
+				seen[r.To] = true
 				count++
-				queue = append(queue, next)
-			}
-		}
-		if !reverse {
-			for _, r := range g.adj[cur] {
-				visit(r.To)
-			}
-		} else {
-			for a := range g.adj {
-				for _, r := range g.adj[a] {
-					if r.To == cur {
-						visit(a)
-					}
-				}
+				queue = append(queue, r.To)
 			}
 		}
 	}

@@ -26,14 +26,10 @@ type graphTraveler struct {
 }
 
 func newGraphTraveler(g *Graph, rng *rand.Rand, nextTrip func()) graphTraveler {
-	t := graphTraveler{g: g, rng: rng, nextTrip: nextTrip}
-	t.cumPop = make([]float64, g.Intersections())
-	sum := 0.0
-	for i := 0; i < g.Intersections(); i++ {
-		sum += g.Popularity(i)
-		t.cumPop[i] = sum
-	}
-	return t
+	// The popularity prefix sums are a pure function of the shared
+	// graph: take the memoized slice instead of rebuilding V entries
+	// per vehicle.
+	return graphTraveler{g: g, rng: rng, nextTrip: nextTrip, cumPop: g.cumPopularity()}
 }
 
 // extend grows the trajectory until it covers instant at.

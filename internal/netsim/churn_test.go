@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -190,5 +191,87 @@ func TestWorkloadOutOfRangeOpFailsRun(t *testing.T) {
 	}
 	if _, err := Run(sc); err == nil {
 		t.Fatal("run with an out-of-range workload op succeeded")
+	}
+}
+
+// TestBatchedPumpConcurrentRuns drives churny generated workloads on
+// several goroutines at once — the shape the exp worker pool runs at
+// 10k-node scale. Under -race this is the regression net for the
+// batched delivery pump: runner state (delivery slabs, pooled engine
+// items, MAC scratch buffers) must stay strictly per-run, and every
+// concurrent replica of the same (scenario, seed) must produce the
+// identical result.
+func TestBatchedPumpConcurrentRuns(t *testing.T) {
+	def, ok := LookupScenario("manhattan-churn")
+	if !ok {
+		t.Fatal("manhattan-churn scenario missing")
+	}
+	sc := def.Instantiate(5)
+	sc.Workload = WorkloadSpec{
+		Name: "mix",
+		Params: workload.MixParams{Parts: []workload.Spec{
+			{Name: "poisson"},
+			{Name: "churn-subs"},
+		}},
+	}
+	const replicas = 4
+	rels := make([]float64, replicas)
+	delivered := make([]uint64, replicas)
+	var wg sync.WaitGroup
+	wg.Add(replicas)
+	for i := 0; i < replicas; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(sc)
+			if err != nil {
+				t.Errorf("replica %d: %v", i, err)
+				return
+			}
+			rels[i] = res.Reliability()
+			delivered[i] = res.DeliveredTotal()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < replicas; i++ {
+		if rels[i] != rels[0] || delivered[i] != delivered[0] {
+			t.Fatalf("replica %d diverged: rel %v vs %v, delivered %d vs %d",
+				i, rels[i], rels[0], delivered[i], delivered[0])
+		}
+	}
+}
+
+// TestSharedGraphConcurrentRuns runs reduced metro instances — which
+// share the registered template's street network — on several
+// goroutines at once. Under -race this pins the mobility.Graph
+// memoization (Validate/popularity caches) as safe for the exp worker
+// pool's concurrent sweeps over one shared graph.
+func TestSharedGraphConcurrentRuns(t *testing.T) {
+	def, ok := LookupScenario("metro-5k")
+	if !ok {
+		t.Fatal("metro-5k scenario missing")
+	}
+	var wg sync.WaitGroup
+	rels := make([]float64, 3)
+	for i := range rels {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := def.Instantiate(9)
+			sc.Nodes = 200
+			sc.Warmup = 5 * time.Second
+			sc.Measure = 20 * time.Second
+			res, err := Run(sc)
+			if err != nil {
+				t.Errorf("replica %d: %v", i, err)
+				return
+			}
+			rels[i] = res.Reliability()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(rels); i++ {
+		if rels[i] != rels[0] {
+			t.Fatalf("replica %d diverged: %v vs %v", i, rels[i], rels[0])
+		}
 	}
 }

@@ -101,6 +101,11 @@ func ParseWorkload(s string) (WorkloadSpec, bool) {
 // (the workload registry's catalog, re-exported for the CLIs).
 func WorkloadNames() []string { return workload.WorkloadNames() }
 
+// Workloads returns every registered workload definition, sorted by
+// name (the workload registry's catalog, re-exported for the CLIs'
+// unknown-id listings).
+func Workloads() []workload.Definition { return workload.Workloads() }
+
 // MobilityKind selects the mobility model.
 type MobilityKind int
 

@@ -32,6 +32,13 @@ func TestScenarioRegistryRoundTrip(t *testing.T) {
 			if sc.Name == "" {
 				t.Fatal("instantiated scenario has no name")
 			}
+			if d.Heavy {
+				// Heavy templates (the metro city sweeps) are exercised
+				// at a test-suite-sized roster: the template's shape is
+				// still validated and run end-to-end, just not at 10k
+				// nodes per test run.
+				sc.Nodes = 300
+			}
 			if err := sc.withDefaults().Validate(); err != nil {
 				t.Fatal(err)
 			}
@@ -170,7 +177,7 @@ func TestManhattanAndHighwaySpeedBounds(t *testing.T) {
 		r := &runner{
 			sc:         sc.withDefaults(),
 			eng:        sim.New(sc.Seed),
-			deliveries: make(map[event.ID]map[event.NodeID]sim.Time),
+			deliveries: make(map[event.ID][]sim.Time),
 		}
 		if err := r.build(); err != nil {
 			t.Fatal(err)

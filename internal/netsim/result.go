@@ -104,18 +104,20 @@ func (r *Result) CoverageAt(id event.ID, t sim.Time) float64 {
 	return float64(n) / float64(o.Eligible)
 }
 
-func (r *Result) computeOutcomes(deliveries map[event.ID]map[event.NodeID]sim.Time, nodes []*node) {
+func (r *Result) computeOutcomes(deliveries map[event.ID][]sim.Time, nodes []*node) {
 	for _, pe := range r.Published {
 		out := EventOutcome{PublishedEvent: pe}
 		deadline := pe.At.Add(pe.Validity)
-		delivered := deliveries[pe.ID]
+		delivered := deliveries[pe.ID] // per-node times, -1 = never
 		for _, n := range nodes {
 			if !n.subscribed || n.id == pe.Publisher {
 				continue
 			}
 			out.Eligible++
-			if at, ok := delivered[n.id]; ok && at <= deadline {
-				out.DeliveredInTime++
+			if delivered != nil {
+				if at := delivered[n.id]; at >= 0 && at <= deadline {
+					out.DeliveredInTime++
+				}
 			}
 		}
 		r.Outcomes = append(r.Outcomes, out)

@@ -94,7 +94,14 @@ type runner struct {
 	// (Publisher -1) draw from this instead of rescanning all nodes.
 	subIdx []int
 
-	deliveries map[event.ID]map[event.NodeID]sim.Time
+	// deliveries holds per-event first-delivery times, batched per node:
+	// one flat slice indexed by node id (sentinel -1 = not delivered)
+	// carved out of slabs of 16 events each, so the per-delivery hot
+	// path is one bounds-checked write instead of two map operations and
+	// the bookkeeping stays allocation-flat between slab refills even
+	// under churny 10k-node workloads.
+	deliveries map[event.ID][]sim.Time
+	slab       []sim.Time
 	records    []DeliveryRecord
 	published  []PublishedEvent
 
@@ -115,7 +122,7 @@ func Run(sc Scenario) (*Result, error) {
 	r := &runner{
 		sc:         sc,
 		eng:        sim.New(sc.Seed),
-		deliveries: make(map[event.ID]map[event.NodeID]sim.Time),
+		deliveries: make(map[event.ID][]sim.Time),
 	}
 	if err := r.build(); err != nil {
 		return nil, err
@@ -329,16 +336,31 @@ func (r *runner) buildProtocol(n *node) (proto.Disseminator, error) {
 	return d, nil
 }
 
+// deliverySlab carves a fresh per-event delivery vector (one sim.Time
+// per node, -1 = not delivered) out of the shared slab.
+func (r *runner) deliverySlab() []sim.Time {
+	n := r.sc.Nodes
+	if len(r.slab) < n {
+		r.slab = make([]sim.Time, 16*n)
+		for i := range r.slab {
+			r.slab[i] = -1
+		}
+	}
+	s := r.slab[:n:n]
+	r.slab = r.slab[n:]
+	return s
+}
+
 // deliverHook records first-delivery times per (event, node).
 func (r *runner) deliverHook(id event.NodeID) func(event.Event) {
 	return func(ev event.Event) {
-		m := r.deliveries[ev.ID]
-		if m == nil {
-			m = make(map[event.NodeID]sim.Time)
-			r.deliveries[ev.ID] = m
+		times := r.deliveries[ev.ID]
+		if times == nil {
+			times = r.deliverySlab()
+			r.deliveries[ev.ID] = times
 		}
-		if _, seen := m[id]; !seen {
-			m[id] = r.eng.Now()
+		if times[id] < 0 {
+			times[id] = r.eng.Now()
 			r.records = append(r.records, DeliveryRecord{
 				Event: ev.ID,
 				Node:  id,
@@ -460,9 +482,9 @@ func (r *runner) pump(gen workload.Generator, pubRng *rand.Rand) {
 			return
 		}
 		op = next
-		r.eng.At(sim.At(op.At), fire)
+		r.eng.Schedule(sim.At(op.At), fire)
 	}
-	r.eng.At(sim.At(op.At), fire)
+	r.eng.Schedule(sim.At(op.At), fire)
 }
 
 // apply executes one workload op. Ops come from either the validated

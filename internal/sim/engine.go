@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"container/heap"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -12,22 +12,52 @@ import (
 // Step; the engine itself is not safe for concurrent use. Callbacks may
 // schedule further work. Scheduling a callback in the past clamps it to the
 // current instant.
+//
+// Pending callbacks live in a hierarchical timer wheel with a heap
+// fallback for far-future instants (see wheel.go); fired and cancelled
+// entries are recycled through a free list, so steady-state scheduling
+// allocates nothing. Firing order is exactly ascending (at, seq): FIFO
+// among callbacks scheduled for the same instant.
 type Engine struct {
-	now   Time
-	queue eventQueue
-	seq   uint64
-	rng   *rand.Rand
-	halt  bool
+	now  Time
+	seq  uint64
+	rng  *rand.Rand
+	halt bool
 
-	// stopped counts queue entries cancelled via Timer.Stop but not yet
-	// removed; when they exceed half the queue the heap is compacted
-	// (see maybeCompact), so churn-heavy runs that stop timers en masse
-	// do not grow the heap monotonically.
+	wheel wheel
+	over  overflowHeap
+
+	// ready holds the items due at or before wheel.cur, sorted by
+	// (at, seq); readyPos is the consumed prefix. New items landing at
+	// or before the current tick are merge-inserted here.
+	ready    []*item
+	readyPos int
+
+	scratch []*item // cascade reuse buffer
+	free    []*item // recycled items
+
+	// count is the number of resident items — scheduled and not yet
+	// fired or physically discarded, including stopped ones; stopped
+	// counts entries cancelled via Timer.Stop but not yet removed. When
+	// stopped entries outnumber live ones the store is compacted (see
+	// maybeCompact), so churn-heavy runs that stop timers en masse do
+	// not grow it monotonically.
+	count   int
 	stopped int
 
-	// Executed counts callbacks that have run; useful for progress
+	// executed counts callbacks that have run; useful for progress
 	// accounting and loop-detection in tests.
 	executed uint64
+}
+
+// item is a scheduled callback. Items are pooled: gen increments on
+// every recycle so stale Timer handles cannot cancel a reused entry.
+type item struct {
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among equal times
+	fn      func()
+	stopped bool
+	gen     uint32
 }
 
 // New returns an engine whose clock starts at the epoch and whose
@@ -53,39 +83,34 @@ func (e *Engine) NewRand() *rand.Rand {
 
 // Timer is a handle to a scheduled callback.
 type Timer struct {
-	e  *Engine
-	it *item
+	e       *Engine
+	it      *item
+	gen     uint32
+	stopped bool
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the call
 // prevented the callback from running. Stopping a nil or already-fired
 // timer is a no-op returning false.
 func (t *Timer) Stop() bool {
-	if t == nil || t.it == nil || t.it.stopped || t.it.fn == nil {
+	if t == nil || t.it == nil || t.stopped || t.it.gen != t.gen || t.it.stopped {
 		return false
 	}
 	t.it.stopped = true
+	t.stopped = true
 	t.e.stopped++
 	t.e.maybeCompact()
 	return true
 }
 
 // Stopped reports whether Stop was called before the timer fired.
-func (t *Timer) Stopped() bool { return t != nil && t.it != nil && t.it.stopped }
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
 
 // At schedules fn to run at instant at (clamped to now if in the past) and
 // returns a cancellable handle.
 func (e *Engine) At(at Time, fn func()) *Timer {
-	if fn == nil {
-		panic("sim: nil callback")
-	}
-	if at < e.now {
-		at = e.now
-	}
-	it := &item{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, it)
-	return &Timer{e: e, it: it}
+	it := e.schedule(at, fn)
+	return &Timer{e: e, it: it, gen: it.gen}
 }
 
 // After schedules fn to run d from now. Negative d behaves like zero.
@@ -93,63 +118,231 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 	return e.At(e.now.Add(d), fn)
 }
 
+// Schedule is At without the cancellation handle: the hot-path variant
+// for fire-and-forget work (MAC contention rounds, workload pumps). It
+// allocates nothing once the engine's item pool is warm.
+func (e *Engine) Schedule(at Time, fn func()) { e.schedule(at, fn) }
+
+// ScheduleAfter is After without the cancellation handle.
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) {
+	e.schedule(e.now.Add(d), fn)
+}
+
+func (e *Engine) schedule(at Time, fn func()) *item {
+	if fn == nil {
+		panic("sim: nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	it := e.newItem(at, fn)
+	e.enqueue(it)
+	return it
+}
+
+func (e *Engine) newItem(at Time, fn func()) *item {
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		it = &item{}
+	}
+	it.at = at
+	it.fn = fn
+	it.seq = e.seq
+	e.seq++
+	return it
+}
+
+// recycle returns a fired or discarded item to the pool, bumping its
+// generation so outstanding Timer handles go stale.
+func (e *Engine) recycle(it *item) {
+	it.fn = nil
+	it.stopped = false
+	it.gen++
+	e.free = append(e.free, it)
+}
+
+// enqueue files the item: merge into the ready buffer when due at or
+// before the current tick, otherwise into the wheel, otherwise (beyond
+// the wheel horizon) into the overflow heap.
+func (e *Engine) enqueue(it *item) {
+	e.count++
+	if tickOf(it.at) <= e.wheel.cur {
+		e.readyInsert(it)
+		return
+	}
+	if !e.wheel.place(it) {
+		e.over.push(it)
+	}
+}
+
+// readyInsert merge-inserts into the unconsumed tail of the ready
+// buffer, preserving (at, seq) order. A freshly scheduled item carries
+// the largest seq, so its slot is always at or after readyPos.
+func (e *Engine) readyInsert(it *item) {
+	lo, hi := e.readyPos, len(e.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if itemLess(e.ready[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.ready = append(e.ready, nil)
+	copy(e.ready[lo+1:], e.ready[lo:])
+	e.ready[lo] = it
+}
+
+// advance moves the wheel to the next occupied instant and refills the
+// ready buffer with every item due at that tick, in (at, seq) order. It
+// reports false when nothing is pending anywhere. The loop only returns
+// once no wheel slot or overflow item shares the chosen tick, so a
+// cascade that lands items at the boundary cannot shadow a level-0 slot
+// (or overflow resident) due at the same instant.
+func (e *Engine) advance() bool {
+	e.ready = e.ready[:0]
+	e.readyPos = 0
+	for {
+		e.drainOverflowDue()
+		start, lvl := e.wheel.nextWindow()
+		overTick := int64(math.MaxInt64)
+		if len(e.over) > 0 {
+			overTick = tickOf(e.over[0].at)
+		}
+		if len(e.ready) > 0 && start > e.wheel.cur && overTick > e.wheel.cur {
+			// Everything due at the current tick is collected and
+			// nothing else shares it.
+			return true
+		}
+		if lvl < 0 || overTick < start {
+			if overTick == math.MaxInt64 {
+				return false // wheel and overflow both empty
+			}
+			// The far-future heap comes due first (the wheel may even
+			// be empty): jump straight to its earliest tick.
+			e.wheel.cur = overTick
+			e.drainOverflowDue()
+			return true
+		}
+		if lvl == 0 {
+			// A level-0 window is a single tick: its slot holds exactly
+			// the items due at that tick. Cascade leftovers already in
+			// ready always share the tick (start == cur then), so the
+			// full buffer is re-sorted after the append.
+			e.wheel.cur = start
+			e.ready = e.wheel.drain(0, start&slotMask, e.ready)
+			sortItems(e.ready)
+			e.drainOverflowDue()
+			return true
+		}
+		// A coarser window opens next: advance to its boundary and
+		// cascade its slot down to finer levels, then rescan. Items due
+		// exactly at the boundary tick go straight to ready.
+		e.wheel.cur = start
+		idx := (start >> (lvl * slotBits)) & slotMask
+		e.scratch = e.wheel.drain(lvl, idx, e.scratch[:0])
+		for i, it := range e.scratch {
+			e.scratch[i] = nil
+			if tickOf(it.at) <= e.wheel.cur {
+				e.readyInsert(it)
+			} else if !e.wheel.place(it) {
+				e.over.push(it)
+			}
+		}
+	}
+}
+
+// drainOverflowDue merges overflow items that have come due (tick at or
+// before the wheel cursor) into the ready buffer.
+func (e *Engine) drainOverflowDue() {
+	for len(e.over) > 0 && tickOf(e.over[0].at) <= e.wheel.cur {
+		e.readyInsert(e.over.pop())
+	}
+}
+
 // Halt stops the currently running Run/RunUntil loop after the current
 // callback returns. Pending events remain queued.
 func (e *Engine) Halt() { e.halt = true }
 
 // Pending returns the number of live queued callbacks: scheduled, not
-// yet fired and not stopped. Stopped timers never count, whether the
-// heap has compacted them away yet or not.
-func (e *Engine) Pending() int { return len(e.queue) - e.stopped }
+// yet fired and not stopped. Stopped timers never count, whether they
+// have been physically discarded yet or not.
+func (e *Engine) Pending() int { return e.count - e.stopped }
 
-// compactMin is the queue size below which stopped entries are left for
-// the pop path to discard: rebuilding a tiny heap buys nothing.
+// compactMin is the resident count below which stopped entries are left
+// for the pop path to discard: sweeping a tiny store buys nothing.
 const compactMin = 64
 
-// maybeCompact rebuilds the heap without its stopped entries once they
-// outnumber the live ones. Cost is O(n) against the O(n) space the
-// stopped entries would otherwise occupy until naturally popped —
+// maybeCompact physically removes stopped entries once they outnumber
+// the live ones. Cost is O(resident) against the O(resident) space the
+// stopped entries would otherwise occupy until naturally drained —
 // churn-heavy runs (mass Protocol.Stop on crashes, suppression storms)
-// previously grew the heap monotonically.
+// would otherwise grow the store monotonically.
 func (e *Engine) maybeCompact() {
-	if len(e.queue) < compactMin || e.stopped*2 <= len(e.queue) {
+	if e.count < compactMin || e.stopped*2 <= e.count {
 		return
 	}
-	live := e.queue[:0]
-	for _, it := range e.queue {
-		if it.stopped {
-			it.fn = nil
-			it.index = -1
-			continue
+	drop := func(s []*item) []*item {
+		kept := s[:0]
+		for _, it := range s {
+			if it.stopped {
+				e.count--
+				e.recycle(it)
+				continue
+			}
+			kept = append(kept, it)
 		}
-		it.index = len(live)
-		live = append(live, it)
+		for i := len(kept); i < len(s); i++ {
+			s[i] = nil
+		}
+		return kept
 	}
-	for i := len(live); i < len(e.queue); i++ {
-		e.queue[i] = nil
+	tail := drop(e.ready[e.readyPos:])
+	e.ready = e.ready[:e.readyPos+len(tail)]
+	for l := 0; l < wheelLevels; l++ {
+		for m := e.wheel.occ[l]; m != 0; m &= m - 1 {
+			idx := trailingIdx(m)
+			slot := drop(e.wheel.slots[l][idx])
+			e.wheel.slots[l][idx] = slot
+			if len(slot) == 0 {
+				e.wheel.occ[l] &^= 1 << idx
+			}
+		}
 	}
-	e.queue = live
-	heap.Init(&e.queue)
+	e.over = drop(e.over)
+	e.over.init()
 	e.stopped = 0
 }
 
 // Step runs the single earliest pending callback, advancing the clock to
 // its instant. It reports whether any callback ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		it := heap.Pop(&e.queue).(*item)
-		fn := it.fn
-		it.fn = nil
-		if it.stopped {
-			e.stopped--
-			continue
+	for {
+		for e.readyPos < len(e.ready) {
+			it := e.ready[e.readyPos]
+			e.ready[e.readyPos] = nil
+			e.readyPos++
+			e.count--
+			if it.stopped {
+				e.stopped--
+				e.recycle(it)
+				continue
+			}
+			at, fn := it.at, it.fn
+			e.recycle(it)
+			e.now = at
+			e.executed++
+			fn()
+			return true
 		}
-		e.now = it.at
-		e.executed++
-		fn()
-		return true
+		if !e.advance() {
+			return false
+		}
 	}
-	return false
 }
 
 // Run executes callbacks until the queue is empty or Halt is called.
@@ -175,16 +368,23 @@ func (e *Engine) RunUntil(limit Time) {
 	}
 }
 
-// peek returns the instant of the earliest live callback.
+// peek returns the instant of the earliest live callback, discarding
+// stopped entries it walks past.
 func (e *Engine) peek() (Time, bool) {
-	for len(e.queue) > 0 {
-		if e.queue[0].stopped {
-			it := heap.Pop(&e.queue).(*item)
-			it.fn = nil
+	for {
+		for e.readyPos < len(e.ready) {
+			it := e.ready[e.readyPos]
+			if !it.stopped {
+				return it.at, true
+			}
+			e.ready[e.readyPos] = nil
+			e.readyPos++
+			e.count--
 			e.stopped--
-			continue
+			e.recycle(it)
 		}
-		return e.queue[0].at, true
+		if !e.advance() {
+			return 0, false
+		}
 	}
-	return 0, false
 }

@@ -323,10 +323,10 @@ func TestStoppedTimerCompaction(t *testing.T) {
 	if got := e.Pending(); got != n/4 {
 		t.Fatalf("Pending = %d, want %d", got, n/4)
 	}
-	// Compaction must have physically shrunk the queue, not just
-	// relabeled entries.
-	if len(e.queue) > n/2 {
-		t.Fatalf("queue holds %d entries after mass stop, want compaction below %d", len(e.queue), n/2)
+	// Compaction must have physically discarded entries, not just
+	// relabeled them.
+	if e.count > n/2 {
+		t.Fatalf("store holds %d entries after mass stop, want compaction below %d", e.count, n/2)
 	}
 	var fired []Time
 	for e.Step() {
@@ -357,8 +357,8 @@ func TestCompactionBelowThresholdLeavesQueue(t *testing.T) {
 	for _, tm := range timers {
 		tm.Stop()
 	}
-	if len(e.queue) != compactMin/2 {
-		t.Fatalf("small queue compacted eagerly: len=%d", len(e.queue))
+	if e.count != compactMin/2 {
+		t.Fatalf("small store compacted eagerly: resident=%d", e.count)
 	}
 	if e.Pending() != 0 {
 		t.Fatalf("Pending = %d, want 0", e.Pending())

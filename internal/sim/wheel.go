@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// The engine's pending-callback store is a hierarchical timer wheel: 6
+// levels of 64 slots over 2^14 ns (~16 us) ticks, covering ~13 days of
+// simulated time, with a binary-heap overflow for anything farther out.
+// Insertion and cancellation are O(1); finding the next occupied instant
+// is O(levels) via per-level occupancy bitmaps instead of the O(log n)
+// sift of the old global binary heap — the difference that keeps a
+// 10k-node city sweep (hundreds of thousands of resident heartbeat and
+// back-off timers) flat instead of logarithmic per event.
+//
+// Exactness contract: callbacks fire in precisely the old heap's order —
+// ascending (at, seq), i.e. FIFO among equal instants. A level-0 slot
+// spans one tick, which is coarser than a nanosecond, so slots are
+// sorted by (at, seq) when drained into the ready buffer; everything
+// still pending lives in strictly later ticks, so the global order is
+// exact, not approximate.
+const (
+	// tickBits is the log2 of the tick length in nanoseconds.
+	tickBits = 14
+	// slotBits is the log2 of the per-level slot count.
+	slotBits = 6
+	// wheelLevels is the number of wheel levels; items beyond the top
+	// level's horizon (64^6 ticks ~ 13 days) overflow into a heap.
+	wheelLevels = 6
+
+	slotsPerLevel = 1 << slotBits
+	slotMask      = slotsPerLevel - 1
+)
+
+// tickOf returns the wheel tick containing instant at.
+func tickOf(at Time) int64 { return int64(at) >> tickBits }
+
+// wheel is the leveled slot store. Slots hold unsorted items; ordering
+// happens at drain time. occ tracks non-empty slots per level so the
+// next occupied window is found with bit scans, never slot walks.
+type wheel struct {
+	slots [wheelLevels][slotsPerLevel][]*item
+	occ   [wheelLevels]uint64
+	// cur is the current tick: every resident item's tick is > cur
+	// (items due at or before cur live in the engine's ready buffer).
+	cur int64
+}
+
+// place files an item whose tick is strictly beyond cur at the coarsest
+// level whose resolution still separates it from the present.
+func (w *wheel) place(it *item) bool {
+	t := tickOf(it.at)
+	d := uint64(t - w.cur)
+	for l := 0; l < wheelLevels; l++ {
+		if d < 1<<((l+1)*slotBits) {
+			idx := (t >> (l * slotBits)) & slotMask
+			w.slots[l][idx] = append(w.slots[l][idx], it)
+			w.occ[l] |= 1 << idx
+			return true
+		}
+	}
+	return false // beyond the horizon: overflow heap
+}
+
+// drain empties slot idx of level l into buf and returns the result.
+func (w *wheel) drain(l int, idx int64, buf []*item) []*item {
+	s := w.slots[l][idx]
+	buf = append(buf, s...)
+	for i := range s {
+		s[i] = nil
+	}
+	w.slots[l][idx] = s[:0]
+	w.occ[l] &^= 1 << idx
+	return buf
+}
+
+// nextWindow returns the start tick of the earliest occupied window and
+// its level, or (math.MaxInt64, -1) when the wheel is empty. At level 0
+// the window start is the item tick itself; at higher levels it is the
+// cascade boundary where the slot must be re-filed downward.
+func (w *wheel) nextWindow() (int64, int) {
+	best := int64(math.MaxInt64)
+	bestLvl := -1
+	for l := 0; l < wheelLevels; l++ {
+		m := w.occ[l]
+		if m == 0 {
+			continue
+		}
+		shift := l * slotBits
+		cl := (w.cur >> shift) & slotMask
+		// Rotation base: the start of the level-(l+1) window containing
+		// cur. Slots strictly after the level cursor belong to the
+		// current rotation; slots before it wrap into the next one. The
+		// cursor slot itself is ambiguous and resolved by position:
+		// exactly at its window start (a coarser cascade just landed
+		// there) it holds leftovers due now; strictly inside the window
+		// it can only hold next-rotation wrap-arounds, because a slot's
+		// current-window items are always drained the moment the cursor
+		// crosses the window boundary.
+		base := w.cur &^ (1<<((l+1)*slotBits) - 1)
+		var start int64
+		if m>>cl&1 == 1 && w.cur&(1<<shift-1) == 0 {
+			start = w.cur
+		} else if ahead := m &^ (1<<(cl+1) - 1); ahead != 0 {
+			start = base + int64(bits.TrailingZeros64(ahead))<<shift
+		} else {
+			start = base + 1<<((l+1)*slotBits) + int64(bits.TrailingZeros64(m))<<shift
+		}
+		// <= not <: on a tie the coarsest level must win, because its
+		// window contains the finer ones — cascading a finer level
+		// first would move the cursor into a still-occupied coarse
+		// window and strand its items.
+		if start <= best {
+			best, bestLvl = start, l
+		}
+	}
+	return best, bestLvl
+}
+
+// trailingIdx returns the index of the lowest set bit of m (m != 0).
+func trailingIdx(m uint64) int64 { return int64(bits.TrailingZeros64(m)) }
+
+// itemLess orders items by (at, seq): time order, FIFO among equals.
+func itemLess(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// sortItems orders a drained slot by (at, seq). Small slots — the
+// common case — take the insertion-sort fast path; mass same-instant
+// fan-ins (a 10k-node warm-up tick) fall back to the library sort.
+func sortItems(items []*item) {
+	if len(items) <= 12 {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && itemLess(items[j], items[j-1]); j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+		return
+	}
+	sort.Slice(items, func(i, j int) bool { return itemLess(items[i], items[j]) })
+}
+
+// overflowHeap is the far-future fallback: a plain binary min-heap by
+// (at, seq) for items beyond the wheel horizon. It reuses the old
+// engine queue's sift routines without the container/heap interface
+// boxing.
+type overflowHeap []*item
+
+func (h *overflowHeap) push(it *item) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !itemLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *overflowHeap) pop() *item {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && itemLess(q[l], q[small]) {
+			small = l
+		}
+		if r < n && itemLess(q[r], q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
+
+// init re-heapifies after a bulk rewrite (compaction).
+func (h overflowHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		for j := i; ; {
+			l, r := 2*j+1, 2*j+2
+			small := j
+			if l < n && itemLess(h[l], h[small]) {
+				small = l
+			}
+			if r < n && itemLess(h[r], h[small]) {
+				small = r
+			}
+			if small == j {
+				break
+			}
+			h[j], h[small] = h[small], h[j]
+			j = small
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWheelTreeSchedulesMatchReference diffs the wheel engine against
+// the brute-force reference on small randomized binary-tree schedules.
+// Small schedules shrink failures to readable traces — this is the test
+// that localized both wheel rotation-attribution bugs during
+// development, where the long mixed script only signalled them.
+func TestWheelTreeSchedulesMatchReference(t *testing.T) {
+	seeds := int64(1500)
+	if testing.Short() {
+		seeds = 200
+	}
+	for n := 2; n <= 12; n++ {
+		for seed := int64(1); seed <= seeds; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			delays := make([]time.Duration, n)
+			for i := range delays {
+				delays[i] = scriptDelays[rng.Intn(len(scriptDelays))]
+			}
+			// Binary tree: event i schedules children 2i+1, 2i+2 at
+			// delays[child % n].
+			runWheel := func() []traceEntry {
+				e := New(1)
+				var trace []traceEntry
+				var sched func(i int)
+				sched = func(i int) {
+					e.After(delays[i%n], func() {
+						trace = append(trace, traceEntry{id: i, at: e.Now()})
+						if 2*i+2 < 4*n {
+							sched(2*i + 1)
+							sched(2*i + 2)
+						}
+					})
+				}
+				sched(0)
+				e.Run()
+				return trace
+			}
+			runRef := func() []traceEntry {
+				e := &refEngine{}
+				var trace []traceEntry
+				var sched func(i int)
+				sched = func(i int) {
+					e.At(e.now.Add(delays[i%n]), func() {
+						trace = append(trace, traceEntry{id: i, at: e.now})
+						if 2*i+2 < 4*n {
+							sched(2*i + 1)
+							sched(2*i + 2)
+						}
+					})
+				}
+				sched(0)
+				e.Run()
+				return trace
+			}
+			a, b := runWheel(), runRef()
+			bad := len(a) != len(b)
+			if !bad {
+				for i := range a {
+					if a[i] != b[i] {
+						bad = true
+						break
+					}
+				}
+			}
+			if bad {
+				t.Fatalf("n=%d seed=%d delays=%v\nwheel=%v\nref  =%v", n, seed, delays, a, b)
+			}
+		}
+	}
+}
