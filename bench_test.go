@@ -460,15 +460,102 @@ func BenchmarkMACBroadcastAllocs(b *testing.B) {
 // see the O(neighbors) vs O(N) gap.
 func BenchmarkMACBroadcastLargeFullScan(b *testing.B) { benchLargeMedium(b, true) }
 
+// ---- megacity enabler micro-benchmarks ----
+
+// BenchmarkShortestPathCached measures warm-cache route queries on the
+// 10k-vehicle metro street graph. Each vehicle trip asks the graph for
+// a shortest path; the per-source route cache answers from a memoized
+// Dijkstra tree, so a warm query costs one tree walk instead of a full
+// search — the optimization that moved routing off the top of the
+// city-sweep profile.
+func BenchmarkShortestPathCached(b *testing.B) {
+	cols, rows := netsim.MetroGraphDims(10000)
+	g := mobility.NewManhattanStyleGraph(cols, rows)
+	v := g.Intersections()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < v; i++ { // warm every source tree
+		if _, err := g.ShortestPath(i, (i+v/2)%v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ShortestPath(rng.Intn(v), rng.Intn(v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexGridDense measures the MAC medium's spatial-index hot
+// pair on the dense row-major cell slab: one incremental Relocate (a
+// drifting node) plus one receiver-candidate disc query per op, at a
+// 5k roster. The dense slab answers both with zero hash lookups, and
+// the reused query buffer keeps the pair allocation-free.
+func BenchmarkIndexGridDense(b *testing.B) {
+	b.ReportAllocs()
+	const n, side = 5000, 3400.0
+	g := geo.NewIndexGrid(100, geo.NewRect(side, side), n)
+	rng := rand.New(rand.NewSource(1))
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Pt(rng.Float64()*side, rng.Float64()*side)
+		g.Relocate(int32(i), pos[i])
+	}
+	buf := make([]int32, 0, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % n
+		pos[k].X += 37 // drift across cell boundaries (clamped at edges)
+		if pos[k].X > side {
+			pos[k].X -= side
+		}
+		g.Relocate(int32(k), pos[k])
+		buf = g.AppendDisc(pos[k], 100, buf[:0])
+		if len(buf) == 0 {
+			b.Fatal("disc query missed its own key")
+		}
+	}
+}
+
+// BenchmarkResultStreaming measures a lean-result run end to end:
+// DeliveryLog off, so the runner folds every delivery into per-event
+// counters and the streaming latency histogram at delivery time and
+// keeps no per-delivery record — the megacity memory contract
+// (ARCHITECTURE.md "Memory contracts"). The custom metric surfaces the
+// histogram's median publish-to-delivery latency, the number the
+// record-free aggregation still has to get right.
+func BenchmarkResultStreaming(b *testing.B) {
+	var p50 float64
+	for i := 0; i < b.N; i++ {
+		sc := rwpScenario(b, 10, 10, 0.8, int64(i)+1)
+		for j := 0; j < 10; j++ {
+			sc.Publications = append(sc.Publications, netsim.Publication{
+				Offset:    time.Duration(j) * 500 * time.Millisecond,
+				Publisher: -1,
+				Validity:  60 * time.Second,
+			})
+		}
+		sc.Measure = 60 * time.Second
+		res, err := netsim.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Deliveries) != 0 {
+			b.Fatal("lean run kept delivery records")
+		}
+		p50 += res.Latency.Quantile(0.5)
+	}
+	b.ReportMetric(p50/float64(b.N), "p50-lat-s")
+}
+
 // BenchmarkMetroSweep is the city-scale engine benchmark: one 5k-node
 // metro run (the metro-5k registry scenario — 11.4 km^2 Manhattan-style
 // grid, diurnal Zipf traffic with churn waves) on a shortened
 // measurement window per iteration. This is the number the timer wheel,
-// the incremental spatial index and the allocation-flat MAC/runner hot
-// paths were built for; BENCH_pr5.json archives it per CI run. (It has
-// no pre-PR baseline in BENCH_pr4.json, so the benchjson guardrail's
-// named set cannot cover it yet — add it to the -names list once a
-// baseline containing it is committed.)
+// the incremental spatial index, the route cache, the dense grids and
+// the allocation-flat MAC/runner hot paths were built for; the CI
+// benchjson guardrail diffs it against the committed BENCH_pr5.json
+// baseline per run.
 func BenchmarkMetroSweep(b *testing.B) {
 	def, ok := netsim.LookupScenario("metro-5k")
 	if !ok {

@@ -186,6 +186,11 @@ func main() {
 	if *showTrace > 0 {
 		sc.Trace = trace.New(*showTrace)
 	}
+	if *timeline {
+		// CoverageAt replays the full delivery record list; the runner
+		// only keeps it on request.
+		sc.DeliveryLog = true
+	}
 
 	start := time.Now()
 	res, err := netsim.Run(sc)

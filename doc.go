@@ -79,13 +79,16 @@
 //	metro-10k        10k vehicles on a 50x39 metro grid (~22.5 km^2;
 //	                 the city grows with the roster at constant ~440
 //	                 vehicles/km^2, see netsim.MetroGraphDims) (Heavy)
+//	metro-50k        megacity VANET: 50k vehicles on an 112x87 metro
+//	                 grid (~115 km^2), same constant density (Heavy)
 //
 // Every non-Heavy catalog entry is swept against every registered
 // protocol; a default-scale sweep (3 seeds x 7 protocols) finishes in
 // about a second. Heavy entries (the metro city sweeps) are excluded
 // from the registry-wide families and the golden suite — reach them
-// with -scenario, the "scale" experiment family (node count 300→10k,
-// frugal vs gossip vs flood) or BenchmarkMetroSweep.
+// with -scenario, the "scale" experiment family (node count 300→50k,
+// frugal vs gossip vs flood; the megacity tiers need -full and a
+// -budget) or BenchmarkMetroSweep.
 //
 // The vehicular environments are backed by two mobility models layered
 // on the street-graph machinery (mobility.Manhattan, mobility.Highway);

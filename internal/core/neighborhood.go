@@ -31,19 +31,46 @@ func (n *neighbor) markHas(id event.ID) {
 }
 
 // neighborhood is the dynamic one-hop neighbor table. Only neighbors with
-// overlapping subscriptions are stored (paper Section 3, phase 1).
+// overlapping subscriptions are stored (paper Section 3, phase 1). Rows
+// live in a slice kept sorted by id: the protocol iterates the table far
+// more often than it inserts (every heartbeat, back-off expiry and send
+// set walks it), and in a dense metro cell the per-call map-iterate+sort
+// of a rebuild dominated the city-sweep profile. A lookup map indexes
+// the same rows for the O(1) refresh path.
 type neighborhood struct {
-	max int // 0 = unbounded
-	m   map[event.NodeID]*neighbor
+	max  int // 0 = unbounded
+	m    map[event.NodeID]*neighbor
+	rows []*neighbor // sorted by id; the canonical iteration order
 }
 
 func newNeighborhood(max int) *neighborhood {
 	return &neighborhood{max: max, m: make(map[event.NodeID]*neighbor)}
 }
 
-func (nh *neighborhood) len() int { return len(nh.m) }
+func (nh *neighborhood) len() int { return len(nh.rows) }
 
 func (nh *neighborhood) get(id event.NodeID) *neighbor { return nh.m[id] }
+
+// rowIndex returns the position of id in rows (or where it would insert).
+func (nh *neighborhood) rowIndex(id event.NodeID) int {
+	return sort.Search(len(nh.rows), func(i int) bool { return nh.rows[i].id >= id })
+}
+
+func (nh *neighborhood) insertRow(n *neighbor) {
+	i := nh.rowIndex(n.id)
+	nh.rows = append(nh.rows, nil)
+	copy(nh.rows[i+1:], nh.rows[i:])
+	nh.rows[i] = n
+}
+
+func (nh *neighborhood) deleteRow(id event.NodeID) {
+	i := nh.rowIndex(id)
+	if i < len(nh.rows) && nh.rows[i].id == id {
+		copy(nh.rows[i:], nh.rows[i+1:])
+		nh.rows[len(nh.rows)-1] = nil
+		nh.rows = nh.rows[:len(nh.rows)-1]
+	}
+}
 
 // upsert implements UPDATENEIGHBORINFO: insert or refresh a neighbor row,
 // reporting whether the neighbor is new and whether its subscriptions
@@ -57,50 +84,60 @@ func (nh *neighborhood) upsert(id event.NodeID, subs *topic.Set, speed float64, 
 		n.storedAt = now
 		return false, subsChanged
 	}
-	if nh.max > 0 && len(nh.m) >= nh.max {
+	if nh.max > 0 && len(nh.rows) >= nh.max {
 		nh.evictStalest()
 	}
-	nh.m[id] = &neighbor{id: id, subs: subs, speed: speed, storedAt: now}
+	n := &neighbor{id: id, subs: subs, speed: speed, storedAt: now}
+	nh.m[id] = n
+	nh.insertRow(n)
 	return true, false
 }
 
 func (nh *neighborhood) evictStalest() {
 	var victim *neighbor
-	for _, n := range nh.m {
-		if victim == nil || n.storedAt < victim.storedAt ||
-			(n.storedAt == victim.storedAt && n.id < victim.id) {
-			victim = n
+	for _, n := range nh.rows {
+		if victim == nil || n.storedAt < victim.storedAt {
+			victim = n // id ascending: first minimum wins ties
 		}
 	}
 	if victim != nil {
 		delete(nh.m, victim.id)
+		nh.deleteRow(victim.id)
 	}
 }
 
-func (nh *neighborhood) remove(id event.NodeID) { delete(nh.m, id) }
+func (nh *neighborhood) remove(id event.NodeID) {
+	if _, ok := nh.m[id]; ok {
+		delete(nh.m, id)
+		nh.deleteRow(id)
+	}
+}
 
 // gc implements the neighborhoodGC task (paper Figure 10): drop rows not
 // refreshed within ngcDelay. It returns the number removed.
 func (nh *neighborhood) gc(now, ngcDelay time.Duration) int {
-	removed := 0
-	for id, n := range nh.m {
+	kept := nh.rows[:0]
+	for _, n := range nh.rows {
 		if now-ngcDelay > n.storedAt {
-			delete(nh.m, id)
-			removed++
+			delete(nh.m, n.id)
+		} else {
+			kept = append(kept, n)
 		}
 	}
+	removed := len(nh.rows) - len(kept)
+	for i := len(kept); i < len(nh.rows); i++ {
+		nh.rows[i] = nil
+	}
+	nh.rows = kept
 	return removed
 }
 
 // sorted returns the neighbor rows ordered by id for deterministic
-// iteration.
+// iteration. The returned slice is the table's live backing array:
+// callers may read rows (and mutate row contents, e.g. markHas) but must
+// not hold it across table mutations.
 func (nh *neighborhood) sorted() []*neighbor {
-	out := make([]*neighbor, 0, len(nh.m))
-	for _, n := range nh.m {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
+	return nh.rows
 }
 
 // avgSpeed implements AVERAGESPEED over neighbors reporting a known

@@ -34,6 +34,14 @@ type Options struct {
 	// sweeps to one registered protocol (cmd/experiments -proto). The
 	// figure sweeps pin their own protocol panels and ignore it.
 	Protocol string
+	// Budget caps the scale family's wall clock (cmd/experiments
+	// -budget): each node-count tier runs only while the elapsed time
+	// plus the tier's cost estimate fits the budget, and the megacity
+	// tiers beyond 10k nodes require one. Zero runs the base tiers
+	// unbounded and skips the megacity tiers. Truncation is reported
+	// in the table title and progress lines, never silent. The
+	// fixed-size figure sweeps ignore it.
+	Budget time.Duration
 	// Progress, when non-nil, receives one liveness line as each
 	// simulation finishes (emitted from worker goroutines, serialized
 	// internally) plus one line per sweep point during aggregation, in
@@ -97,7 +105,7 @@ func All() []Definition {
 		{"ext-storm", "Extension: frugal vs broadcast-storm schemes (Ni et al.)", ExtStorm},
 		{"scenarios", "Extension: every registered protocol across every registered scenario (see -scenario, -proto)", Scenarios},
 		{"workloads", "Extension: every registered workload generator on the reference waypoint environment (see -workload)", Workloads},
-		{"scale", "Extension: metro city sweep 300→10k nodes, frugal vs gossip vs flood (minutes; -full reaches 10k)", Scale},
+		{"scale", "Extension: metro city sweep 300→50k nodes, frugal vs gossip vs flood (minutes; -full + -budget reaches the 50k megacity)", Scale},
 	}
 }
 

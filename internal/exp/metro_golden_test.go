@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestMetroFingerprint pins a full metro-5k city run end to end: one
+// sha-256 over every publication, outcome, per-node counter and the
+// streaming latency histogram (netsim.Result.Fingerprint). The table
+// goldens above exercise the same engine layers but only at village
+// scale and only through rounded aggregates; this case is the one
+// place a megacity-path regression — route cache, dense grids,
+// streaming aggregation — must reproduce a city-scale run bit for bit.
+// It costs a couple of minutes, so it hides behind -short like the
+// Heavy scenarios it guards.
+func TestMetroFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full metro-5k run (~2 min); rerun without -short")
+	}
+	def, ok := netsim.LookupScenario("metro-5k")
+	if !ok {
+		t.Fatal("metro-5k not registered")
+	}
+	res, err := netsim.Run(def.Instantiate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metro-5k-fingerprint", res.Fingerprint()+"\n")
+}

@@ -17,6 +17,7 @@ func TestConcurrentRunsIdentical(t *testing.T) {
 	scenario := func() (netsim.Scenario, time.Duration) {
 		sc := rwpScenario(rwpBase(Options{}), 10, 10, 0.8, 7)
 		sc.Name = "determinism"
+		sc.DeliveryLog = true // the test diffs full delivery records
 		return sc, 30 * time.Second
 	}
 	sc, v := scenario()

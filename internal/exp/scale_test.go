@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTierEstimate(t *testing.T) {
+	// First tier: no history, always admitted.
+	if est := tierEstimate(300, nil, nil); est != 0 {
+		t.Fatalf("first-tier estimate = %v, want 0", est)
+	}
+	// One completed tier: N^1.5 default. 4x nodes -> 8x time.
+	est := tierEstimate(1200, []int{300}, []time.Duration{time.Minute})
+	if est < 7*time.Minute || est > 9*time.Minute {
+		t.Fatalf("single-history estimate = %v, want ~8m", est)
+	}
+	// Two tiers growing linearly: fitted exponent 1, so 2x nodes -> 2x.
+	est = tierEstimate(2000, []int{500, 1000},
+		[]time.Duration{time.Minute, 2 * time.Minute})
+	if est < 230*time.Second || est > 250*time.Second {
+		t.Fatalf("linear-fit estimate = %v, want ~4m", est)
+	}
+	// Observed superlinear growth is clamped at cubic: 10x duration
+	// over 2x nodes fits alpha log2(10)=3.3 -> clamp 3 -> 8x.
+	est = tierEstimate(4000, []int{1000, 2000},
+		[]time.Duration{time.Minute, 10 * time.Minute})
+	if est < 79*time.Minute || est > 81*time.Minute {
+		t.Fatalf("clamped estimate = %v, want ~80m", est)
+	}
+	// Megacity tiers only appear on the full axis, after the 10k city.
+	counts := scaleCounts(true)
+	if counts[len(counts)-1] != 50000 || counts[len(counts)-2] != 25000 {
+		t.Fatalf("full axis misses the megacity tiers: %v", counts)
+	}
+	for _, n := range scaleCounts(false) {
+		if n >= megacityFloor {
+			t.Fatalf("quick axis contains megacity tier %d", n)
+		}
+	}
+}

@@ -1,78 +1,61 @@
 package geo
 
-import "math"
-
-// Cell identifies one bucket of a Grid: the square
-// [X*size, (X+1)*size) x [Y*size, (Y+1)*size).
-type Cell struct {
-	X, Y int
-}
-
 type gridEntry struct {
-	cell Cell
-	pos  Point
+	idx int // dense cell index in buckets
+	pos Point
 }
 
-// Grid is a uniform spatial hash: values of type T filed under the cell
-// containing their recorded position. It answers "which values were
-// recorded near p?" in time proportional to the number of nearby values
-// instead of the total population, which is what lets the MAC medium
+// Grid is a uniform spatial index: values of type T filed under the
+// cell containing their recorded position, cells stored as a dense
+// row-major slab over a bounding rectangle (see cellCore). It answers
+// "which values were recorded near p?" in time proportional to the
+// number of nearby values instead of the total population, with zero
+// hash lookups on the query path, which is what lets the MAC medium
 // scale past a few hundred nodes.
 //
 // The grid stores *recorded* positions: callers that index moving
 // objects must either re-record them as they move or pad query radii by
 // the maximum drift since recording (see mac.Config.MaxSpeed).
+// Positions outside the constructor bounds are clamped into border
+// cells — still correct, just slower if pervasive.
 //
 // Iteration order of VisitDisc is deterministic — cells in row-major
 // order, values within a cell in insertion order — so simulations built
 // on it stay reproducible. The zero Grid is not usable; call NewGrid.
 type Grid[T comparable] struct {
-	size    float64 // cell edge length, meters
-	inv     float64 // 1/size
-	buckets map[Cell][]T
+	cellCore
+	buckets [][]T // dense row-major cell slab
 	entries map[T]gridEntry
 }
 
-// NewGrid returns an empty grid with the given cell edge length. The
-// best cell size is close to the dominant query radius: much smaller
-// wastes time on bucket overhead, much larger degenerates toward a full
-// scan. It panics on a non-positive size.
-func NewGrid[T comparable](cellSize float64) *Grid[T] {
-	if cellSize <= 0 {
-		panic("geo: non-positive grid cell size")
-	}
+// NewGrid returns an empty grid over the given bounds with the given
+// cell edge length. The best cell size is close to the dominant query
+// radius: much smaller wastes time on bucket overhead, much larger
+// degenerates toward a full scan (the size is coarsened automatically
+// if bounds/cellSize would exceed the dense-slab cap, see
+// maxDenseCells). It panics on a non-positive size or inverted bounds.
+func NewGrid[T comparable](cellSize float64, bounds Rect) *Grid[T] {
+	core := newCellCore(cellSize, bounds)
 	return &Grid[T]{
-		size:    cellSize,
-		inv:     1 / cellSize,
-		buckets: make(map[Cell][]T),
-		entries: make(map[T]gridEntry),
-	}
-}
-
-// CellSize returns the cell edge length.
-func (g *Grid[T]) CellSize() float64 { return g.size }
-
-// CellOf returns the cell containing p.
-func (g *Grid[T]) CellOf(p Point) Cell {
-	return Cell{
-		X: int(math.Floor(p.X * g.inv)),
-		Y: int(math.Floor(p.Y * g.inv)),
+		cellCore: core,
+		buckets:  make([][]T, core.numCells()),
+		entries:  make(map[T]gridEntry),
 	}
 }
 
 // Put records v at position p, moving it between buckets if it was
 // already present elsewhere.
 func (g *Grid[T]) Put(v T, p Point) {
-	c := g.CellOf(p)
+	idx := g.cellIndex(p)
 	if e, ok := g.entries[v]; ok {
-		if e.cell == c {
-			g.entries[v] = gridEntry{cell: c, pos: p}
+		if e.idx == idx {
+			g.entries[v] = gridEntry{idx: idx, pos: p}
 			return
 		}
-		g.drop(v, e.cell)
+		g.drop(v, e.idx)
 	}
-	g.buckets[c] = append(g.buckets[c], v)
-	g.entries[v] = gridEntry{cell: c, pos: p}
+	g.buckets[idx] = append(g.buckets[idx], v)
+	g.entries[v] = gridEntry{idx: idx, pos: p}
 }
 
 // Remove deletes v from the grid; removing an absent value is a no-op.
@@ -81,17 +64,17 @@ func (g *Grid[T]) Remove(v T) {
 	if !ok {
 		return
 	}
-	g.drop(v, e.cell)
+	g.drop(v, e.idx)
 	delete(g.entries, v)
 }
 
-// drop removes v from bucket c, preserving the order of the remaining
+// drop removes v from bucket idx, preserving the order of the remaining
 // values (so VisitDisc stays deterministic under churn). An emptied
-// bucket keeps its map entry and capacity: the MAC transmission index
-// constantly cycles values through the same cells, and re-allocating
-// the bucket on every revisit was its last per-frame allocation.
-func (g *Grid[T]) drop(v T, c Cell) {
-	b := g.buckets[c]
+// bucket keeps its capacity: the MAC transmission index constantly
+// cycles values through the same cells, and re-allocating the bucket on
+// every revisit was its last per-frame allocation.
+func (g *Grid[T]) drop(v T, idx int) {
+	b := g.buckets[idx]
 	for i, x := range b {
 		if x == v {
 			copy(b[i:], b[i+1:])
@@ -101,7 +84,7 @@ func (g *Grid[T]) drop(v T, c Cell) {
 			break
 		}
 	}
-	g.buckets[c] = b
+	g.buckets[idx] = b
 }
 
 // Pos returns the recorded position of v.
@@ -113,9 +96,13 @@ func (g *Grid[T]) Pos(v T) (Point, bool) {
 // Len returns the number of recorded values.
 func (g *Grid[T]) Len() int { return len(g.entries) }
 
-// Clear empties the grid, keeping its maps allocated.
+// Clear empties the grid, keeping the bucket slab and its per-cell
+// capacities allocated.
 func (g *Grid[T]) Clear() {
-	clear(g.buckets)
+	for i := range g.buckets {
+		clear(g.buckets[i])
+		g.buckets[i] = g.buckets[i][:0]
+	}
 	clear(g.entries)
 }
 
@@ -130,11 +117,11 @@ func (g *Grid[T]) AppendDisc(p Point, r float64, buf []T) []T {
 	if r < 0 {
 		return buf
 	}
-	lo := g.CellOf(Point{X: p.X - r, Y: p.Y - r})
-	hi := g.CellOf(Point{X: p.X + r, Y: p.Y + r})
-	for cy := lo.Y; cy <= hi.Y; cy++ {
-		for cx := lo.X; cx <= hi.X; cx++ {
-			buf = append(buf, g.buckets[Cell{X: cx, Y: cy}]...)
+	lox, loy, hix, hiy := g.discRange(p, r)
+	for cy := loy; cy <= hiy; cy++ {
+		base := cy * g.cols
+		for _, b := range g.buckets[base+lox : base+hix+1] {
+			buf = append(buf, b...)
 		}
 	}
 	return buf
@@ -143,17 +130,18 @@ func (g *Grid[T]) AppendDisc(p Point, r float64, buf []T) []T {
 // VisitDisc calls fn for every value whose recorded position lies in a
 // cell intersecting the axis-aligned bounding square of the disc
 // (p, r). The visit is a superset of the disc: fn may see values up to
-// r + size*sqrt(2) away, and callers must re-check exact distances.
-// A negative radius visits nothing.
+// r + size*sqrt(2) away (more for clamped out-of-bounds positions),
+// and callers must re-check exact distances. A negative radius visits
+// nothing.
 func (g *Grid[T]) VisitDisc(p Point, r float64, fn func(v T, recorded Point)) {
 	if r < 0 {
 		return
 	}
-	lo := g.CellOf(Point{X: p.X - r, Y: p.Y - r})
-	hi := g.CellOf(Point{X: p.X + r, Y: p.Y + r})
-	for cy := lo.Y; cy <= hi.Y; cy++ {
-		for cx := lo.X; cx <= hi.X; cx++ {
-			for _, v := range g.buckets[Cell{X: cx, Y: cy}] {
+	lox, loy, hix, hiy := g.discRange(p, r)
+	for cy := loy; cy <= hiy; cy++ {
+		base := cy * g.cols
+		for _, b := range g.buckets[base+lox : base+hix+1] {
+			for _, v := range b {
 				fn(v, g.entries[v].pos)
 			}
 		}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestGridBasics(t *testing.T) {
-	g := NewGrid[int](10)
+	g := NewGrid[int](10, NewRect(200, 200))
 	if g.Len() != 0 {
 		t.Fatal("new grid not empty")
 	}
@@ -38,7 +38,7 @@ func TestGridBasics(t *testing.T) {
 }
 
 func TestGridNegativeCoordsAndRadius(t *testing.T) {
-	g := NewGrid[int](7)
+	g := NewGrid[int](7, Rect{Min: Pt(-28, -28), Max: Pt(28, 28)})
 	g.Put(1, Pt(-3, -3))
 	g.Put(2, Pt(-20, 4))
 	var got []int
@@ -58,7 +58,7 @@ func TestGridNegativeCoordsAndRadius(t *testing.T) {
 // under random insert/move/remove churn.
 func TestGridVisitSuperset(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	g := NewGrid[int](50)
+	g := NewGrid[int](50, Rect{Min: Pt(-200, -200), Max: Pt(800, 800)})
 	pos := make(map[int]Point)
 	randPt := func() Point { return Pt(rng.Float64()*1000-200, rng.Float64()*1000-200) }
 	for i := 0; i < 2000; i++ {
@@ -100,7 +100,7 @@ func TestGridVisitSuperset(t *testing.T) {
 // identical build sequences visit in identical order.
 func TestGridVisitDeterministic(t *testing.T) {
 	build := func() []int {
-		g := NewGrid[int](30)
+		g := NewGrid[int](30, NewRect(500, 500))
 		rng := rand.New(rand.NewSource(11))
 		for i := 0; i < 200; i++ {
 			g.Put(i, Pt(rng.Float64()*500, rng.Float64()*500))
@@ -126,5 +126,93 @@ func TestGridVisitDeterministic(t *testing.T) {
 		// order really is bucket order, not id order (which would hint
 		// the test is vacuous).
 		t.Log("note: bucket order happened to be sorted")
+	}
+}
+
+// TestGridClampedOutOfBounds checks the dense grid's clamping contract:
+// positions far outside the constructor bounds land in border cells and
+// the superset invariant still holds for queries anywhere in the plane.
+func TestGridClampedOutOfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := NewGrid[int](25, NewRect(100, 100)) // deliberately tight bounds
+	pos := make(map[int]Point)
+	randPt := func() Point { return Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000) }
+	for i := 0; i < 400; i++ {
+		p := randPt()
+		g.Put(i, p)
+		pos[i] = p
+	}
+	for q := 0; q < 100; q++ {
+		qp, r := randPt(), rng.Float64()*400
+		visited := map[int]bool{}
+		g.VisitDisc(qp, r, func(v int, rec Point) {
+			if pos[v] != rec {
+				t.Fatalf("recorded pos of %d = %v, want %v", v, rec, pos[v])
+			}
+			visited[v] = true
+		})
+		for id, p := range pos {
+			if p.Dist(qp) <= r && !visited[id] {
+				t.Fatalf("value %d at %v (dist %.1f) missed by clamped VisitDisc(%v, %.1f)",
+					id, p, p.Dist(qp), qp, r)
+			}
+		}
+	}
+}
+
+// TestIndexGridSupersetAndDeterminism mirrors the Grid superset check
+// for the int-keyed dense grid, including out-of-bounds clamping, and
+// pins that identical Relocate histories give identical bucket order.
+func TestIndexGridSupersetAndDeterminism(t *testing.T) {
+	const n = 200
+	build := func() ([]Point, *IndexGrid) {
+		rng := rand.New(rand.NewSource(31))
+		g := NewIndexGrid(40, NewRect(600, 600), n)
+		pos := make([]Point, n)
+		for i := range pos {
+			pos[i] = Pt(rng.Float64()*900-150, rng.Float64()*900-150)
+			g.Relocate(int32(i), pos[i])
+		}
+		for i := 0; i < 500; i++ { // churn: moves, some crossing cells
+			k := rng.Intn(n)
+			pos[k] = Pt(rng.Float64()*900-150, rng.Float64()*900-150)
+			g.Relocate(int32(k), pos[k])
+		}
+		return pos, g
+	}
+	pos, g := build()
+	if g.Len() != n {
+		t.Fatalf("Len = %d, want %d", g.Len(), n)
+	}
+	if g.Keys() != n {
+		t.Fatalf("Keys = %d, want %d", g.Keys(), n)
+	}
+	rng := rand.New(rand.NewSource(37))
+	var buf []int32
+	for q := 0; q < 200; q++ {
+		qp := Pt(rng.Float64()*900-150, rng.Float64()*900-150)
+		r := rng.Float64() * 250
+		buf = g.AppendDisc(qp, r, buf[:0])
+		got := map[int32]bool{}
+		for _, k := range buf {
+			got[k] = true
+		}
+		for k, p := range pos {
+			if p.Dist(qp) <= r && !got[int32(k)] {
+				t.Fatalf("key %d at %v (dist %.1f) missed by AppendDisc(%v, %.1f)",
+					k, p, p.Dist(qp), qp, r)
+			}
+		}
+	}
+	_, g2 := build()
+	a := g.AppendDisc(Pt(300, 300), 280, nil)
+	b := g2.AppendDisc(Pt(300, 300), 280, nil)
+	if len(a) != len(b) {
+		t.Fatalf("bucket-order lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bucket order differs at %d: %d vs %d", i, a[i], b[i])
+		}
 	}
 }

@@ -1,82 +1,70 @@
 package geo
 
-import "math"
-
-// IndexGrid is a uniform spatial hash specialized for a dense integer
+// IndexGrid is a uniform spatial index specialized for a dense integer
 // key space [0, n) — the MAC medium's node roster. Compared to the
 // generic Grid it stores per-key state in a flat slice instead of a
 // map, and Relocate re-buckets a key only when its position crossed a
 // cell boundary, so the periodic index refresh of N moving nodes costs
 // N cell computations but only touches buckets for the nodes that
 // actually moved cells — the "incremental re-bucketing" half of the
-// medium's allocation-flat contract.
+// medium's allocation-flat contract. Cells live in the same dense
+// row-major slab as Grid (see cellCore): the receiver-candidate query
+// of the MAC hot path does zero hash lookups.
 //
 // Only the containing cell of each key is recorded, not the exact
 // position: the medium's queries are conservative supersets re-checked
 // against exact positions anyway (see Grid), so storing the position
-// would buy nothing and cost a write per refresh per node.
+// would buy nothing and cost a write per refresh per node. Positions
+// outside the constructor bounds are clamped into border cells.
 //
 // Iteration order of AppendDisc is deterministic — cells in row-major
 // order, keys within a cell in bucket order; callers that need a
 // canonical order (the medium sorts by attach rank) must sort, since
 // bucket order depends on movement history.
 type IndexGrid struct {
-	size    float64 // cell edge length, meters
-	inv     float64 // 1/size
-	buckets map[Cell][]int32
-	cells   []indexCell // key -> containing cell
+	cellCore
+	buckets [][]int32 // dense row-major cell slab
+	cells   []int32   // key -> containing cell index, -1 = absent
 }
 
-type indexCell struct {
-	cell Cell
-	in   bool
-}
-
-// NewIndexGrid returns an empty grid with the given cell edge length
-// over keys [0, n). It panics on a non-positive size.
-func NewIndexGrid(cellSize float64, n int) *IndexGrid {
-	if cellSize <= 0 {
-		panic("geo: non-positive grid cell size")
+// NewIndexGrid returns an empty grid over the given bounds with the
+// given cell edge length, for keys [0, n). It panics on a non-positive
+// size or inverted bounds.
+func NewIndexGrid(cellSize float64, bounds Rect, n int) *IndexGrid {
+	core := newCellCore(cellSize, bounds)
+	g := &IndexGrid{
+		cellCore: core,
+		buckets:  make([][]int32, core.numCells()),
+		cells:    make([]int32, n),
 	}
-	return &IndexGrid{
-		size:    cellSize,
-		inv:     1 / cellSize,
-		buckets: make(map[Cell][]int32),
-		cells:   make([]indexCell, n),
+	for i := range g.cells {
+		g.cells[i] = -1
 	}
-}
-
-// CellOf returns the cell containing p.
-func (g *IndexGrid) CellOf(p Point) Cell {
-	return Cell{
-		X: int(math.Floor(p.X * g.inv)),
-		Y: int(math.Floor(p.Y * g.inv)),
-	}
+	return g
 }
 
 // Relocate records key k at position p, moving it between buckets only
 // if its containing cell changed. Keys outside [0, n) panic.
 func (g *IndexGrid) Relocate(k int32, p Point) {
-	c := g.CellOf(p)
-	e := &g.cells[k]
-	if e.in {
-		if e.cell == c {
+	idx := int32(g.cellIndex(p))
+	old := g.cells[k]
+	if old >= 0 {
+		if old == idx {
 			return
 		}
-		g.drop(k, e.cell)
+		g.drop(k, old)
 	}
-	g.buckets[c] = append(g.buckets[c], k)
-	e.cell = c
-	e.in = true
+	g.buckets[idx] = append(g.buckets[idx], k)
+	g.cells[k] = idx
 }
 
-// drop removes k from bucket c, preserving the order of the remaining
+// drop removes k from bucket idx, preserving the order of the remaining
 // keys (so AppendDisc stays deterministic under churn). Like Grid.drop,
-// an emptied bucket keeps its map entry and capacity: nodes cycle
-// through the same cells as they move, and re-allocating the bucket on
-// every revisit would put an allocation back on the refresh path.
-func (g *IndexGrid) drop(k int32, c Cell) {
-	b := g.buckets[c]
+// an emptied bucket keeps its capacity: nodes cycle through the same
+// cells as they move, and re-allocating the bucket on every revisit
+// would put an allocation back on the refresh path.
+func (g *IndexGrid) drop(k int32, idx int32) {
+	b := g.buckets[idx]
 	for i, x := range b {
 		if x == k {
 			copy(b[i:], b[i+1:])
@@ -84,7 +72,7 @@ func (g *IndexGrid) drop(k int32, c Cell) {
 			break
 		}
 	}
-	g.buckets[c] = b
+	g.buckets[idx] = b
 }
 
 // Keys returns the size n of the key space the grid was created for.
@@ -109,11 +97,11 @@ func (g *IndexGrid) AppendDisc(p Point, r float64, buf []int32) []int32 {
 	if r < 0 {
 		return buf
 	}
-	lo := g.CellOf(Point{X: p.X - r, Y: p.Y - r})
-	hi := g.CellOf(Point{X: p.X + r, Y: p.Y + r})
-	for cy := lo.Y; cy <= hi.Y; cy++ {
-		for cx := lo.X; cx <= hi.X; cx++ {
-			buf = append(buf, g.buckets[Cell{X: cx, Y: cy}]...)
+	lox, loy, hix, hiy := g.discRange(p, r)
+	for cy := loy; cy <= hiy; cy++ {
+		base := cy * g.cols
+		for _, b := range g.buckets[base+lox : base+hix+1] {
+			buf = append(buf, b...)
 		}
 	}
 	return buf

@@ -72,6 +72,16 @@ type Config struct {
 	// less often but widen the query margin.
 	GridRefresh time.Duration
 
+	// Bounds is the scenario's bounding rectangle; the medium pre-sizes
+	// its dense spatial indexes over it (cells of one radio range). It
+	// does not have to be exact — positions outside are clamped into
+	// border cells, which stays correct and only degrades query cost if
+	// pervasive. A zero Bounds makes the medium derive a padded bounding
+	// box from node positions at first use. netsim fills this from the
+	// scenario's mobility model (area or street-graph bounding box); set
+	// it yourself only when driving the medium directly.
+	Bounds geo.Rect
+
 	// FullScan disables the spatial index entirely and scans the full
 	// roster for every frame — the pre-grid reference implementation.
 	// It exists for differential tests and benchmarks; the grid path is
@@ -116,6 +126,9 @@ func (c Config) Validate() error {
 	}
 	if c.GridRefresh < 0 {
 		return fmt.Errorf("mac: negative GridRefresh %v", c.GridRefresh)
+	}
+	if c.Bounds.Width() < 0 || c.Bounds.Height() < 0 {
+		return fmt.Errorf("mac: inverted Bounds %v", c.Bounds)
 	}
 	return nil
 }
@@ -228,7 +241,12 @@ type Medium struct {
 	staleAfter    time.Duration
 	margin        float64
 
-	// txGrid buckets live transmissions by their (fixed) origin.
+	// bounds is the resolved index bounding box: Config.Bounds, or a
+	// padded roster bounding box derived at first use (ensureGeometry).
+	bounds geo.Rect
+
+	// txGrid buckets live transmissions by their (fixed) origin. Created
+	// lazily alongside bounds.
 	txGrid *geo.Grid[*transmission]
 
 	scratch   []int32         // receiver-candidate reuse buffer (ranks)
@@ -242,12 +260,11 @@ func New(eng *sim.Engine, cfg Config, loc Locator) *Medium {
 		panic(err)
 	}
 	m := &Medium{
-		eng:    eng,
-		cfg:    cfg,
-		loc:    loc,
-		rng:    eng.NewRand(),
-		rank:   make(map[event.NodeID]int),
-		txGrid: geo.NewGrid[*transmission](max(cfg.csRange(), cfg.ifRange())),
+		eng:  eng,
+		cfg:  cfg,
+		loc:  loc,
+		rng:  eng.NewRand(),
+		rank: make(map[event.NodeID]int),
 	}
 	if cfg.SpeedBounded {
 		m.staleAfter = cfg.gridRefresh()
@@ -340,6 +357,7 @@ func (p *Port) Broadcast(msg event.Message, appBytes int) {
 // attempt runs one CSMA contention round for the head-of-queue frame.
 func (p *Port) attempt() {
 	m := p.m
+	m.ensureGeometry()
 	now := m.eng.Now()
 	pos := m.loc.Position(p.id, now)
 	if until, busy := m.busyUntil(p.id, pos, now); busy {
@@ -435,6 +453,48 @@ func (m *Medium) receivers(tx *transmission) []int32 {
 	return m.scratch
 }
 
+// ensureGeometry resolves the index bounding box and creates the
+// transmission grid on first use. Bounds come from Config.Bounds when
+// set; otherwise from the attached roster's current positions, padded
+// by one sense range — the clamped dense grids stay correct either way
+// (out-of-bounds positions pile into border cells), so the derived box
+// only needs to be representative, not exact.
+func (m *Medium) ensureGeometry() {
+	if m.txGrid != nil {
+		return
+	}
+	b := m.cfg.Bounds
+	if b == (geo.Rect{}) {
+		now := m.eng.Now()
+		for i, id := range m.order {
+			p := m.loc.Position(id, now)
+			if i == 0 {
+				b = geo.Rect{Min: p, Max: p}
+				continue
+			}
+			if p.X < b.Min.X {
+				b.Min.X = p.X
+			}
+			if p.Y < b.Min.Y {
+				b.Min.Y = p.Y
+			}
+			if p.X > b.Max.X {
+				b.Max.X = p.X
+			}
+			if p.Y > b.Max.Y {
+				b.Max.Y = p.Y
+			}
+		}
+		pad := max(m.cfg.csRange(), m.cfg.ifRange())
+		b.Min.X -= pad
+		b.Min.Y -= pad
+		b.Max.X += pad
+		b.Max.Y += pad
+	}
+	m.bounds = b
+	m.txGrid = geo.NewGrid[*transmission](max(m.cfg.csRange(), m.cfg.ifRange()), b)
+}
+
 // ensureNodeGrid refreshes the node index at now unless it is still
 // fresh: under SpeedBounded it survives for the refresh period (forever
 // when MaxSpeed is 0 — static nodes), otherwise any clock advance
@@ -450,7 +510,8 @@ func (m *Medium) ensureNodeGrid(now sim.Time) {
 		}
 	}
 	if m.nodeGrid == nil || m.nodeGrid.Keys() != len(m.order) {
-		m.nodeGrid = geo.NewIndexGrid(m.cfg.Range, len(m.order))
+		m.ensureGeometry()
+		m.nodeGrid = geo.NewIndexGrid(m.cfg.Range, m.bounds, len(m.order))
 	}
 	for rank, id := range m.order {
 		m.nodeGrid.Relocate(int32(rank), m.loc.Position(id, now))

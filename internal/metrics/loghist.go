@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// logHistBuckets is the fixed bucket count of LogHist. With 8 buckets
+// per octave, bucket boundaries grow by 2^(1/8) (~9%), so quantile
+// estimates carry at most half that relative error within a bucket.
+const logHistBuckets = 176
+
+// logHistBase is the lower edge of bucket 0 in sample units: 0.1 ms
+// for latencies in seconds. 176 buckets at 8/octave span 22 octaves,
+// 1e-4 .. ~420 s — wider than any scenario's validity window.
+const logHistBase = 1e-4
+
+// logHistPerOctave is the bucket resolution.
+const logHistPerOctave = 8
+
+// LogHist is a streaming log-bucketed histogram with fixed memory: a
+// value-type accumulator of counts in geometrically growing buckets
+// plus exact count/sum/min/max. Unlike Quantile (which sorts a
+// materialized sample slice) it folds samples in at O(1) space, and two
+// histograms merge bucket-wise — the shape netsim's streaming result
+// aggregation needs to keep delivery-latency percentiles while result
+// memory stays flat in roster size. The zero value is ready to use,
+// and values compare/copy as plain structs.
+type LogHist struct {
+	count    uint64
+	sum      float64
+	min, max float64
+	buckets  [logHistBuckets]uint32
+}
+
+// logHistBucket maps a sample to its bucket, clamping below base into
+// bucket 0 and above the top edge into the last bucket.
+func logHistBucket(v float64) int {
+	if v <= logHistBase {
+		return 0
+	}
+	b := int(math.Log2(v/logHistBase) * logHistPerOctave)
+	if b < 0 {
+		return 0
+	}
+	if b >= logHistBuckets {
+		return logHistBuckets - 1
+	}
+	return b
+}
+
+// Add folds sample v into the histogram. Negative and NaN samples are
+// ignored (latencies cannot be negative; a NaN would poison sum).
+func (h *LogHist) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[logHistBucket(v)]++
+}
+
+// Merge folds other into h bucket-wise.
+func (h *LogHist) Merge(other LogHist) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// N returns the number of folded samples.
+func (h *LogHist) N() int { return int(h.count) }
+
+// Sum returns the exact sum of folded samples.
+func (h *LogHist) Sum() float64 { return h.sum }
+
+// Mean returns the exact sample mean (0 with no samples).
+func (h *LogHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest folded sample (0 with no samples).
+func (h *LogHist) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest folded sample (0 with no samples).
+func (h *LogHist) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// WriteBinary writes the histogram's exact state to w in a fixed
+// little-endian layout (count, sum, min, max, buckets), so result
+// fingerprints can cover the streaming latency aggregate bit-for-bit.
+func (h *LogHist) WriteBinary(w io.Writer) error {
+	for _, v := range []any{h.count, h.sum, h.min, h.max, h.buckets} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// holding the q-th sample and returning the bucket's geometric
+// midpoint, clamped to the observed min/max so estimates never leave
+// the sample range. Relative error is bounded by the bucket growth
+// factor (~±4.5%). It returns 0 with no samples.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += uint64(c)
+		if seen > rank {
+			lo := logHistBase * math.Pow(2, float64(i)/logHistPerOctave)
+			hi := lo * math.Pow(2, 1.0/logHistPerOctave)
+			if i == 0 {
+				lo = 0 // bucket 0 also holds the sub-base samples
+			}
+			mid := (lo + hi) / 2
+			return math.Min(math.Max(mid, h.min), h.max)
+		}
+	}
+	return h.max
+}

@@ -2,6 +2,7 @@ package mobility
 
 import (
 	"container/heap"
+	"container/list"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,7 +30,32 @@ type Graph struct {
 	validated bool      // Validate passed and no mutation since
 	pop       []float64 // per-intersection popularity, nil until built
 	cumPop    []float64 // prefix sums of pop, nil until built
+
+	// Route cache: per-source shortest-path trees, LRU-evicted under a
+	// byte budget (see routeCacheBudget). Guarded by mu like the other
+	// memos; the prev slices themselves are immutable once published.
+	routes     map[int]*routeTree
+	routeLRU   list.List // front = most recently used, values *routeTree
+	routeBytes int       // approximate footprint of cached trees
 }
+
+// routeTree is a memoized full-Dijkstra predecessor tree from one
+// source intersection: prev[v] is the predecessor of v on the fastest
+// src->v path, -1 for the source itself and for unreachable nodes.
+type routeTree struct {
+	src  int
+	prev []int32
+	elem *list.Element // position in Graph.routeLRU, guarded by Graph.mu
+}
+
+// routeCacheBudget bounds the route cache's memory per graph. A tree
+// costs 4 bytes per intersection, so a V-intersection graph needs
+// 4*V^2 bytes to cache every source: the metro-10k street grid
+// (V=1950) fits whole in ~15 MB, while metro-50k (V~9744) would need
+// ~380 MB and instead keeps the ~1700 most recently used sources —
+// popularity-biased destination draws make those cover most trips.
+// A variable only so eviction tests can shrink it; treat as constant.
+var routeCacheBudget = 64 << 20
 
 // mutated invalidates the memoized derived state.
 func (g *Graph) mutated() {
@@ -37,6 +63,9 @@ func (g *Graph) mutated() {
 	g.validated = false
 	g.pop = nil
 	g.cumPop = nil
+	g.routes = nil
+	g.routeLRU.Init()
+	g.routeBytes = 0
 	g.mu.Unlock()
 }
 
@@ -115,6 +144,33 @@ func (g *Graph) MaxSpeedLimit() float64 {
 	return maxLimit
 }
 
+// Bounds returns the axis-aligned bounding box of all intersections
+// (the zero Rect for an empty graph). Vehicles travel along straight
+// roads between intersections, so every position a graph traveler can
+// report lies inside it — the MAC layer uses it to pre-size its dense
+// spatial index over the scenario's geometry.
+func (g *Graph) Bounds() geo.Rect {
+	if len(g.points) == 0 {
+		return geo.Rect{}
+	}
+	r := geo.Rect{Min: g.points[0], Max: g.points[0]}
+	for _, p := range g.points[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}
+
 // Popularity returns the sum of weights of roads incident to i (in either
 // direction); used to bias destination choice toward busy spots. All
 // intersections' popularities are built in one O(V+E) edge sweep and
@@ -162,24 +218,83 @@ var ErrUnreachable = errors.New("mobility: unreachable intersection")
 
 // ShortestPath returns the minimum-travel-time path from a to b as a
 // sequence of intersection indices including both endpoints.
+//
+// Paths are served from a per-source shortest-path tree memoized in the
+// route cache: every vehicle of a run (and every run sharing a template
+// graph) asks for trips from the same popularity-biased sources, and
+// one full Dijkstra per source replaces one targeted Dijkstra per trip
+// — the top hotspot of the 10k-node city sweeps. The cached tree
+// returns byte-identical paths to a per-call targeted Dijkstra: with
+// strictly-positive road times and strict-< relaxation, every node on
+// the a->b path is settled before b pops, settled predecessors never
+// change afterwards, and the pop order of the full run is a prefix-
+// preserving extension of the early-exit run.
 func (g *Graph) ShortestPath(a, b int) ([]int, error) {
 	if a == b {
 		return []int{a}, nil
 	}
+	prev := g.routeTreeFrom(a)
+	if prev[b] == -1 {
+		return nil, fmt.Errorf("%w: %d from %d", ErrUnreachable, b, a)
+	}
+	var path []int
+	for at := b; at != -1; at = int(prev[at]) {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// routeTreeFrom returns the shortest-path tree rooted at src, building
+// and caching it on miss. The returned slice is immutable; callers may
+// read it after the lock is released (eviction only drops the cache's
+// reference). Holding mu across the build serializes concurrent
+// misses, matching the Validate/popularity memos: the work is done once
+// per source instead of once per trip, so contention is paid only
+// while the cache warms.
+func (g *Graph) routeTreeFrom(src int) []int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t, ok := g.routes[src]; ok {
+		g.routeLRU.MoveToFront(t.elem)
+		return t.prev
+	}
+	prev := g.dijkstraTree(src)
+	if g.routes == nil {
+		g.routes = make(map[int]*routeTree)
+	}
+	t := &routeTree{src: src, prev: prev}
+	t.elem = g.routeLRU.PushFront(t)
+	g.routes[src] = t
+	g.routeBytes += 4 * len(prev)
+	for g.routeBytes > routeCacheBudget && g.routeLRU.Len() > 1 {
+		back := g.routeLRU.Back()
+		old := back.Value.(*routeTree)
+		g.routeLRU.Remove(back)
+		delete(g.routes, old.src)
+		g.routeBytes -= 4 * len(old.prev)
+	}
+	return prev
+}
+
+// dijkstraTree runs Dijkstra from src over the whole graph (no early
+// exit) and returns the predecessor tree. Must mirror the relaxation
+// rule of the pre-cache targeted search exactly (strict <, heap order)
+// so reconstructed paths stay byte-identical.
+func (g *Graph) dijkstraTree(src int) []int32 {
 	const inf = 1e300
 	dist := make([]float64, len(g.points))
-	prev := make([]int, len(g.points))
+	prev := make([]int32, len(g.points))
 	for i := range dist {
 		dist[i] = inf
 		prev[i] = -1
 	}
-	dist[a] = 0
-	pq := &pathHeap{{node: a}}
+	dist[src] = 0
+	pq := &pathHeap{{node: src}}
 	for pq.Len() > 0 {
 		cur := heap.Pop(pq).(pathItem)
-		if cur.node == b {
-			break
-		}
 		if cur.cost > dist[cur.node] {
 			continue
 		}
@@ -187,22 +302,12 @@ func (g *Graph) ShortestPath(a, b int) ([]int, error) {
 			c := cur.cost + r.Length/r.SpeedLimit
 			if c < dist[r.To] {
 				dist[r.To] = c
-				prev[r.To] = cur.node
+				prev[r.To] = int32(cur.node)
 				heap.Push(pq, pathItem{node: r.To, cost: c})
 			}
 		}
 	}
-	if prev[b] == -1 {
-		return nil, fmt.Errorf("%w: %d from %d", ErrUnreachable, b, a)
-	}
-	var path []int
-	for at := b; at != -1; at = prev[at] {
-		path = append(path, at)
-	}
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
-	}
-	return path, nil
+	return prev
 }
 
 // road returns the directed road a->b (the fastest when parallel roads

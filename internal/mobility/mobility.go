@@ -91,29 +91,45 @@ func (l leg) speedAt(at sim.Time) float64 {
 	return 0
 }
 
-// trajectory is a growable sequence of contiguous legs with binary-search
+// trajectory is a growable sequence of contiguous legs with memoized
 // lookup. extend is called to append legs until the trajectory covers a
 // requested instant.
 type trajectory struct {
 	legs []leg
+	end  sim.Time // covered() memo: end of the last leg
+	idx  int      // find() memo: last returned leg
 }
 
-func (t *trajectory) covered() sim.Time {
-	if len(t.legs) == 0 {
-		return 0
-	}
-	return t.legs[len(t.legs)-1].end
-}
+func (t *trajectory) covered() sim.Time { return t.end }
 
-func (t *trajectory) append(l leg) { t.legs = append(t.legs, l) }
+func (t *trajectory) append(l leg) {
+	t.legs = append(t.legs, l)
+	t.end = l.end
+}
 
 // find returns the leg active at instant at; the trajectory must already
-// cover at.
+// cover at. The simulation queries positions at its current instant, so
+// consecutive calls almost always hit the same leg or its successor —
+// the memo turns the common case into O(1) and the binary search only
+// backstops jumps (identical result either way).
 func (t *trajectory) find(at sim.Time) leg {
-	i := sort.Search(len(t.legs), func(i int) bool { return t.legs[i].end > at })
-	if i == len(t.legs) {
-		i = len(t.legs) - 1
+	n := len(t.legs)
+	i := t.idx
+	if i >= n {
+		i = n - 1
 	}
+	switch {
+	case at < t.legs[i].end && (i == 0 || t.legs[i-1].end <= at):
+		// memo hit
+	case i+1 < n && at >= t.legs[i].end && at < t.legs[i+1].end:
+		i++
+	default:
+		i = sort.Search(n, func(k int) bool { return t.legs[k].end > at })
+		if i == n {
+			i = n - 1
+		}
+	}
+	t.idx = i
 	return t.legs[i]
 }
 

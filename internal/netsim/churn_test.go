@@ -24,6 +24,7 @@ func TestManhattanChurnDeliveryInvariants(t *testing.T) {
 	}
 	for seed := int64(1); seed <= 3; seed++ {
 		sc := def.Instantiate(seed)
+		sc.DeliveryLog = true // the invariants below read res.Deliveries
 		res, err := Run(sc)
 		if err != nil {
 			t.Fatal(err)
@@ -52,7 +53,7 @@ func TestManhattanChurnDeliveryInvariants(t *testing.T) {
 		}
 		// Determinism: the same (Scenario, Seed) replays the exact
 		// delivery timeline and outcomes.
-		res2, err := Run(def.Instantiate(seed))
+		res2, err := Run(sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,8 +90,9 @@ func TestMidCrashPublicationNoDoubleDelivery(t *testing.T) {
 		Crashes: []Crash{
 			{Node: 2, At: 20 * time.Second, RecoverAt: 40 * time.Second},
 		},
-		Warmup:  10 * time.Second,
-		Measure: 100 * time.Second,
+		Warmup:      10 * time.Second,
+		Measure:     100 * time.Second,
+		DeliveryLog: true,
 	}
 	res, err := Run(sc)
 	if err != nil {
@@ -143,8 +145,9 @@ func TestWorkloadChurnRunIsFailsafe(t *testing.T) {
 				{Name: "churn-subs", Params: workload.SubChurnParams{Rate: 0.2, Resub: 5 * time.Second}},
 			}},
 		},
-		Warmup:  10 * time.Second,
-		Measure: 90 * time.Second,
+		Warmup:      10 * time.Second,
+		Measure:     90 * time.Second,
+		DeliveryLog: true,
 	}
 	res, err := Run(sc)
 	if err != nil {

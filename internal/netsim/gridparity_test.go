@@ -52,7 +52,8 @@ func TestGridParityWithFullScan(t *testing.T) {
 						{Publisher: -1, Validity: 30 * time.Second},
 						{Offset: 500 * time.Millisecond, Publisher: -1, Validity: 30 * time.Second},
 					},
-					Measure: 35 * time.Second,
+					Measure:     35 * time.Second,
+					DeliveryLog: true, // parity diffs full delivery records
 				}
 				sc.MAC.FullScan = fullScan
 				res, err := Run(sc)

@@ -304,6 +304,16 @@ type Scenario struct {
 	// run (sends, receptions, deliveries, publications).
 	Trace *trace.Trace
 
+	// DeliveryLog keeps the full per-delivery record list
+	// (Result.Deliveries) and the per-event delivery bitsets alive for
+	// the whole run, enabling Result.CoverageAt and
+	// Result.DeliveryLatencies. Off by default: the runner then folds
+	// each delivery into fixed-size per-event counters and a streaming
+	// latency histogram at delivery time, so result memory stays flat
+	// in roster size (the megacity contract — see ARCHITECTURE.md
+	// "Memory contracts"). Setting Trace implies DeliveryLog.
+	DeliveryLog bool
+
 	// Warmup runs the system before measurement starts (the paper
 	// discards the first 600 s of random-waypoint runs).
 	Warmup time.Duration
@@ -321,6 +331,11 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Sizes == (event.SizeModel{}) {
 		s.Sizes = event.DefaultSizeModel()
+	}
+	if s.Trace != nil {
+		// A message-level trace without the matching delivery log would
+		// be an inconsistent timeline.
+		s.DeliveryLog = true
 	}
 	s.Protocol = s.Protocol.withDefaults()
 	if s.Mobility.Kind == HighwayConvoy {

@@ -175,9 +175,9 @@ func TestManhattanAndHighwaySpeedBounds(t *testing.T) {
 		}
 		sc := def.Instantiate(3)
 		r := &runner{
-			sc:         sc.withDefaults(),
-			eng:        sim.New(sc.Seed),
-			deliveries: make(map[event.ID][]sim.Time),
+			sc:     sc.withDefaults(),
+			eng:    sim.New(sc.Seed),
+			groups: make(map[event.ID]*eventGroup),
 		}
 		if err := r.build(); err != nil {
 			t.Fatal(err)

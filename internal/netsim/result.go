@@ -1,10 +1,15 @@
 package netsim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
 	"time"
 
 	"repro/internal/event"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/topic"
@@ -55,17 +60,66 @@ type DeliveryRecord struct {
 
 // Result is everything measured in one run.
 type Result struct {
-	Scenario   Scenario
-	Nodes      []NodeResult
-	Published  []PublishedEvent
+	Scenario  Scenario
+	Nodes     []NodeResult
+	Published []PublishedEvent
+	// Deliveries lists every first delivery, but only when the scenario
+	// sets DeliveryLog (or Trace): the streaming aggregation otherwise
+	// folds deliveries into Outcomes and Latency as they happen and
+	// keeps no per-delivery state.
 	Deliveries []DeliveryRecord
 	Outcomes   []EventOutcome
+	// Latency is the streaming histogram of publish-to-first-delivery
+	// latencies in seconds across all events, excluding the publisher's
+	// local self-delivery and deliveries past the event's validity.
+	// Always populated, with O(1) memory, regardless of DeliveryLog.
+	Latency metrics.LogHist
+}
+
+// Fingerprint digests everything measured in the run — publications,
+// outcomes, per-node counters, the delivery log (when kept) and the
+// latency histogram — into a stable hex string. Run is a pure function
+// of (Scenario, Seed), so the fingerprint pins a whole city-scale
+// simulation in one golden line where the full table output would be
+// megabytes (see the metro golden test in internal/exp).
+func (r *Result) Fingerprint() string {
+	h := sha256.New()
+	w := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
+	w(uint64(len(r.Published)))
+	for _, pe := range r.Published {
+		w(pe.ID)
+		w(uint32(pe.Publisher))
+		w(int64(pe.At))
+		w(int64(pe.Validity))
+		_, _ = io.WriteString(h, pe.Topic.String())
+	}
+	w(uint64(len(r.Outcomes)))
+	for _, o := range r.Outcomes {
+		w(int64(o.Eligible))
+		w(int64(o.DeliveredInTime))
+	}
+	w(uint64(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		w(uint32(n.ID))
+		w(n.Subscribed)
+		w(n.Proto)
+		w(n.MAC)
+	}
+	w(uint64(len(r.Deliveries)))
+	for _, d := range r.Deliveries {
+		w(d.Event)
+		w(uint32(d.Node))
+		w(int64(d.At))
+	}
+	_ = r.Latency.WriteBinary(h)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // DeliveryLatencies returns the publish-to-delivery latencies in seconds
 // of every recorded delivery (excluding the publisher's local
-// self-delivery), across all events. Useful for percentile analysis via
-// metrics.Quantile.
+// self-delivery), across all events. Useful for exact percentile
+// analysis via metrics.Quantile; requires Scenario.DeliveryLog (use
+// Latency for the always-on streaming estimate).
 func (r *Result) DeliveryLatencies() []float64 {
 	pubAt := make(map[event.ID]PublishedEvent, len(r.Published))
 	for _, pe := range r.Published {
@@ -83,7 +137,8 @@ func (r *Result) DeliveryLatencies() []float64 {
 }
 
 // CoverageAt returns the fraction of eligible subscribers that had
-// delivered event id by time t.
+// delivered event id by time t. It reads Deliveries, so it requires
+// Scenario.DeliveryLog.
 func (r *Result) CoverageAt(id event.ID, t sim.Time) float64 {
 	var o *EventOutcome
 	for i := range r.Outcomes {
@@ -102,26 +157,6 @@ func (r *Result) CoverageAt(id event.ID, t sim.Time) float64 {
 		}
 	}
 	return float64(n) / float64(o.Eligible)
-}
-
-func (r *Result) computeOutcomes(deliveries map[event.ID][]sim.Time, nodes []*node) {
-	for _, pe := range r.Published {
-		out := EventOutcome{PublishedEvent: pe}
-		deadline := pe.At.Add(pe.Validity)
-		delivered := deliveries[pe.ID] // per-node times, -1 = never
-		for _, n := range nodes {
-			if !n.subscribed || n.id == pe.Publisher {
-				continue
-			}
-			out.Eligible++
-			if delivered != nil {
-				if at := delivered[n.id]; at >= 0 && at <= deadline {
-					out.DeliveredInTime++
-				}
-			}
-		}
-		r.Outcomes = append(r.Outcomes, out)
-	}
 }
 
 // Reliability averages per-event reliability across all published events.

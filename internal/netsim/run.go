@@ -2,12 +2,14 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"reflect"
 
 	"repro/internal/event"
 	"repro/internal/geo"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/proto"
 	"repro/internal/sim"
@@ -94,16 +96,34 @@ type runner struct {
 	// (Publisher -1) draw from this instead of rescanning all nodes.
 	subIdx []int
 
-	// deliveries holds per-event first-delivery times, batched per node:
-	// one flat slice indexed by node id (sentinel -1 = not delivered)
-	// carved out of slabs of 16 events each, so the per-delivery hot
-	// path is one bounds-checked write instead of two map operations and
-	// the bookkeeping stays allocation-flat between slab refills even
-	// under churny 10k-node workloads.
-	deliveries map[event.ID][]sim.Time
-	slab       []sim.Time
-	records    []DeliveryRecord
-	published  []PublishedEvent
+	// Streaming result aggregation: every delivery folds into its
+	// event's fixed-size cell (in-time counter, deduped by a shared
+	// per-ID bitset) and the run-wide latency histogram at delivery
+	// time, so result memory is one bit per (event, node) plus O(1)
+	// per event — instead of the old per-(event, node) time table and
+	// ever-growing DeliveryRecord list.
+	//
+	// cells is 1:1 with published (same order). groups shares one
+	// first-delivery bitset among all publications carrying the same
+	// event ID: a crash-recovered publisher replays its reseeded RNG
+	// stream and can re-issue an earlier ID, and the aliased
+	// publications then score against the union of deliveries, exactly
+	// as the old shared delivery table did. subMask is the subscriber
+	// roster as a bitset (fixed after build), used to seed an aliased
+	// publication's in-time count from deliveries that preceded it.
+	// pending buffers deliveries that arrive before their event's cell
+	// exists — the publisher's local self-delivery fires inside
+	// proto.Publish, before publish() can register the cell.
+	cells   []eventCell
+	groups  map[event.ID]*eventGroup
+	subMask []uint64
+	pending []DeliveryRecord
+	// keepLog mirrors Scenario.DeliveryLog: keep full DeliveryRecords
+	// (Result.Deliveries) for CoverageAt/DeliveryLatencies.
+	keepLog   bool
+	lat       metrics.LogHist
+	records   []DeliveryRecord
+	published []PublishedEvent
 
 	snapProto []proto.Stats
 	snapMAC   []mac.Counters
@@ -120,9 +140,10 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	r := &runner{
-		sc:         sc,
-		eng:        sim.New(sc.Seed),
-		deliveries: make(map[event.ID][]sim.Time),
+		sc:      sc,
+		eng:     sim.New(sc.Seed),
+		groups:  make(map[event.ID]*eventGroup),
+		keepLog: sc.DeliveryLog,
 	}
 	if err := r.build(); err != nil {
 		return nil, err
@@ -203,6 +224,10 @@ func (r *runner) build() error {
 		if n.subscribed {
 			r.subIdx = append(r.subIdx, i)
 		}
+	}
+	r.subMask = make([]uint64, (sc.Nodes+63)/64)
+	for _, i := range r.subIdx {
+		r.subMask[uint(i)/64] |= uint64(1) << (uint(i) % 64)
 	}
 	for _, n := range r.nodes {
 		proto, err := r.buildProtocol(n)
@@ -293,13 +318,28 @@ func (r *runner) buildMobility() (mobility.Model, error) {
 }
 
 // macConfig returns the scenario's MAC config with a node-speed bound
-// derived from the mobility model, enabling the medium's cached spatial
-// index (see mac.Config.SpeedBounded). Custom models stay conservative:
-// their speeds are unknown, so the medium re-buckets per instant.
-// A caller-supplied bound is left untouched.
+// and index bounds derived from the mobility model, enabling the
+// medium's cached spatial index (see mac.Config.SpeedBounded) and
+// pre-sizing its dense cell slabs (see mac.Config.Bounds). Custom
+// models stay conservative: their speeds and geometry are unknown, so
+// the medium re-buckets per instant and derives bounds from positions
+// at first use. Caller-supplied values are left untouched.
 func (r *runner) macConfig() mac.Config {
 	cfg := r.sc.MAC
-	if cfg.SpeedBounded || r.sc.CustomModels != nil {
+	if r.sc.CustomModels != nil {
+		return cfg
+	}
+	if cfg.Bounds == (geo.Rect{}) {
+		switch r.sc.Mobility.Kind {
+		case StaticNodes, RandomWaypoint:
+			cfg.Bounds = r.sc.Mobility.Area
+		case CitySection, ManhattanGrid, HighwayConvoy:
+			// Vehicles travel straight roads between intersections, so
+			// the street graph's bounding box contains every position.
+			cfg.Bounds = r.graph.Bounds()
+		}
+	}
+	if cfg.SpeedBounded {
 		return cfg
 	}
 	switch r.sc.Mobility.Kind {
@@ -336,44 +376,96 @@ func (r *runner) buildProtocol(n *node) (proto.Disseminator, error) {
 	return d, nil
 }
 
-// deliverySlab carves a fresh per-event delivery vector (one sim.Time
-// per node, -1 = not delivered) out of the shared slab.
-func (r *runner) deliverySlab() []sim.Time {
-	n := r.sc.Nodes
-	if len(r.slab) < n {
-		r.slab = make([]sim.Time, 16*n)
-		for i := range r.slab {
-			r.slab[i] = -1
-		}
-	}
-	s := r.slab[:n:n]
-	r.slab = r.slab[n:]
-	return s
+// eventCell is the fixed-size per-publication accumulator that replaces
+// the per-(event, node) delivery-time table: enough to compute the
+// publication's EventOutcome exactly.
+type eventCell struct {
+	// eligible is |subscribers| minus the publisher (if subscribed),
+	// frozen at publish time — valid because the subscription roster
+	// never changes after build (see runner.subIdx).
+	eligible int32
+	// inTime counts eligible first deliveries at or before deadline.
+	inTime    int32
+	publisher event.NodeID
+	at        sim.Time
+	deadline  sim.Time
 }
 
-// deliverHook records first-delivery times per (event, node).
+// eventGroup joins the publications sharing one event ID: bits is their
+// common first-delivery bitset, cells the indices of their eventCells
+// (publish order; almost always exactly one).
+type eventGroup struct {
+	bits  []uint64
+	cells []int32
+}
+
+// deliver folds one delivery into the event's group: first-delivery
+// dedup via the shared bitset, then every publication's in-time counter
+// and the streaming latency histogram. Returns false for duplicates.
+func (r *runner) deliver(g *eventGroup, id event.NodeID, at sim.Time) bool {
+	w, m := uint(id)/64, uint64(1)<<(uint(id)%64)
+	if g.bits[w]&m != 0 {
+		return false
+	}
+	g.bits[w] |= m
+	sub := r.nodes[id].subscribed
+	for _, ci := range g.cells {
+		c := &r.cells[ci]
+		if sub && id != c.publisher && at <= c.deadline {
+			c.inTime++
+		}
+	}
+	// Latency is scored against the newest publication of the ID (for
+	// the overwhelmingly common single-publication case: the only one).
+	c := &r.cells[g.cells[len(g.cells)-1]]
+	if id != c.publisher && at <= c.deadline {
+		r.lat.Add(at.Sub(c.at).Seconds())
+	}
+	return true
+}
+
+// deliverHook streams first deliveries per (event, node) into the
+// event's group. Deliveries for a not-yet-registered event (the
+// publisher's self-delivery inside proto.Publish) buffer in pending
+// until publish() registers the cell.
 func (r *runner) deliverHook(id event.NodeID) func(event.Event) {
 	return func(ev event.Event) {
-		times := r.deliveries[ev.ID]
-		if times == nil {
-			times = r.deliverySlab()
-			r.deliveries[ev.ID] = times
+		now := r.eng.Now()
+		if g, ok := r.groups[ev.ID]; ok {
+			if !r.deliver(g, id, now) {
+				return
+			}
+		} else {
+			for _, p := range r.pending {
+				if p.Event == ev.ID && p.Node == id {
+					return // duplicate before registration
+				}
+			}
+			r.pending = append(r.pending, DeliveryRecord{Event: ev.ID, Node: id, At: now})
 		}
-		if times[id] < 0 {
-			times[id] = r.eng.Now()
+		if r.keepLog {
 			r.records = append(r.records, DeliveryRecord{
 				Event: ev.ID,
 				Node:  id,
-				At:    r.eng.Now(),
-			})
-			r.traceAdd(trace.Record{
-				At:    r.eng.Now(),
-				Node:  id,
-				Op:    trace.OpDeliver,
-				Event: ev.ID,
+				At:    now,
 			})
 		}
+		r.traceAdd(trace.Record{
+			At:    now,
+			Node:  id,
+			Op:    trace.OpDeliver,
+			Event: ev.ID,
+		})
 	}
+}
+
+// popcountAnd counts the set bits of a ∧ b.
+func popcountAnd(a, b []uint64) int32 {
+	var n int32
+	for i, w := range a {
+		n += int32(bits.OnesCount64(w & b[i]))
+	}
+	return n
 }
 
 // traceAdd records into the optional scenario trace.
@@ -558,17 +650,55 @@ func (r *runner) publish(p Publication, rng *rand.Rand) {
 	}
 	id, err := n.proto.Publish(tp, nil, p.Validity)
 	if err != nil {
+		// Any buffered self-delivery belongs to a failed (unregistered)
+		// publication; it was already logged/traced on arrival.
+		r.pending = r.pending[:0]
 		return
 	}
+	now := r.eng.Now()
+	eligible := int32(len(r.subIdx))
+	if n.subscribed {
+		eligible--
+	}
+	ci := int32(len(r.cells))
+	cell := eventCell{
+		eligible:  eligible,
+		publisher: n.id,
+		at:        now,
+		deadline:  now.Add(p.Validity),
+	}
+	g := r.groups[id]
+	if g == nil {
+		g = &eventGroup{bits: make([]uint64, (r.sc.Nodes+63)/64)}
+		r.groups[id] = g
+	} else {
+		// Aliased re-publication (see runner.groups): every first
+		// delivery so far precedes this publish and hence its deadline,
+		// so the new outcome starts from the delivered subscribers.
+		cell.inTime = popcountAnd(g.bits, r.subMask)
+		w, m := uint(n.id)/64, uint64(1)<<(uint(n.id)%64)
+		if n.subscribed && g.bits[w]&m != 0 {
+			cell.inTime-- // the new publisher never scores itself
+		}
+	}
+	r.cells = append(r.cells, cell)
+	g.cells = append(g.cells, ci)
+	for _, pd := range r.pending {
+		// The publisher's local delivery from inside proto.Publish.
+		if pd.Event == id {
+			r.deliver(g, pd.Node, pd.At)
+		}
+	}
+	r.pending = r.pending[:0]
 	r.published = append(r.published, PublishedEvent{
 		ID:        id,
 		Publisher: n.id,
 		Topic:     tp,
-		At:        r.eng.Now(),
+		At:        now,
 		Validity:  p.Validity,
 	})
 	r.traceAdd(trace.Record{
-		At:    r.eng.Now(),
+		At:    now,
 		Node:  n.id,
 		Op:    trace.OpPublish,
 		Event: id,
@@ -607,13 +737,27 @@ func (r *runner) recover(idx int) {
 	_ = n.proto.Subscribe(tp)
 }
 
-// collect assembles the Result after the run.
+// collect assembles the Result after the run. Outcomes read directly
+// off the per-event cells (cells is 1:1 with Published, same order), so
+// no delivery table is ever materialized.
 func (r *runner) collect() *Result {
 	res := &Result{
 		Scenario:   r.sc,
 		Published:  r.published,
 		Deliveries: r.records,
+		Latency:    r.lat,
 		Nodes:      make([]NodeResult, len(r.nodes)),
+	}
+	if len(r.published) > 0 {
+		res.Outcomes = make([]EventOutcome, len(r.published))
+	}
+	for i, pe := range r.published {
+		c := r.cells[i]
+		res.Outcomes[i] = EventOutcome{
+			PublishedEvent:  pe,
+			Eligible:        int(c.eligible),
+			DeliveredInTime: int(c.inTime),
+		}
 	}
 	for i, n := range r.nodes {
 		proto := n.totalStats()
@@ -629,7 +773,6 @@ func (r *runner) collect() *Result {
 			MAC:        macC,
 		}
 	}
-	res.computeOutcomes(r.deliveries, r.nodes)
 	return res
 }
 

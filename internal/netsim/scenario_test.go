@@ -64,8 +64,9 @@ func TestCourierBridgesPartition(t *testing.T) {
 		Publications: []Publication{
 			{Offset: 0, Publisher: 0, Validity: 240 * time.Second},
 		},
-		Warmup:  2 * time.Second,
-		Measure: 250 * time.Second,
+		Warmup:      2 * time.Second,
+		Measure:     250 * time.Second,
+		DeliveryLog: true, // the partition check reads res.Deliveries
 	}
 	res, err := Run(sc)
 	if err != nil {
@@ -205,8 +206,9 @@ func TestDeliveryLatencies(t *testing.T) {
 		Publications: []Publication{
 			{Offset: 2 * time.Second, Publisher: 0, Validity: 60 * time.Second},
 		},
-		Warmup:  0,
-		Measure: 70 * time.Second,
+		Warmup:      0,
+		Measure:     70 * time.Second,
+		DeliveryLog: true, // DeliveryLatencies needs the full record list
 	}
 	res, err := Run(sc)
 	if err != nil {
@@ -225,6 +227,22 @@ func TestDeliveryLatencies(t *testing.T) {
 	p99 := metrics.Quantile(lats, 0.99)
 	if p50 > p99 {
 		t.Fatal("median exceeds p99")
+	}
+	// The always-on streaming histogram must agree with the exact
+	// record-derived list: same count/sum, quantiles within its
+	// documented bucket error.
+	if res.Latency.N() != len(lats) {
+		t.Fatalf("streaming latency N = %d, want %d", res.Latency.N(), len(lats))
+	}
+	sum := 0.0
+	for _, l := range lats {
+		sum += l
+	}
+	if math.Abs(res.Latency.Sum()-sum) > 1e-9 {
+		t.Fatalf("streaming latency sum = %v, want %v", res.Latency.Sum(), sum)
+	}
+	if est := res.Latency.Quantile(0.5); math.Abs(est-p50) > 0.05*p50+1e-9 {
+		t.Fatalf("streaming p50 = %v, exact %v", est, p50)
 	}
 	// Coverage is monotone and complete.
 	ev := res.Published[0].ID

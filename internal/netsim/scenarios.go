@@ -263,6 +263,13 @@ func init() {
 		Heavy:       true,
 		Template:    metroTemplate(10000),
 	})
+	RegisterScenario(ScenarioDef{
+		Name:        "metro-50k",
+		Description: "megacity VANET: 50k vehicles on a ~115 km^2 metro grid, diurnal Zipf traffic + churn waves",
+		Runtime:     "hours",
+		Heavy:       true,
+		Template:    metroTemplate(50000),
+	})
 }
 
 // MetroGraphDims returns the Manhattan-style street-grid dimensions
