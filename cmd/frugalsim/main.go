@@ -43,18 +43,20 @@ func main() {
 			"registered protocol name (frugal, the flooding/storm baselines, gossip-pushpull; see 'experiments -list')")
 		wkld = flag.String("workload", "",
 			"registered workload generator merged into the ad-hoc scenario (poisson, flash-crowd, churn-nodes, ...; see 'experiments -list')")
-		nodes     = flag.Int("nodes", 50, "number of processes")
-		mobility  = flag.String("mobility", "rwp", "rwp | city | manhattan | highway | static")
-		side      = flag.Float64("side", 2887, "square area side in meters (rwp/static)")
-		speedMin  = flag.Float64("speed-min", 0, "min speed m/s (rwp; 0 = same as -speed)")
-		speed     = flag.Float64("speed", 10, "max speed m/s (rwp)")
-		radio     = flag.Float64("range", 339, "radio range in meters")
-		subs      = flag.Float64("subscribers", 0.8, "fraction subscribed to the event topic")
-		events    = flag.Int("events", 1, "events to publish")
-		validity  = flag.Duration("validity", 120*time.Second, "event validity period")
-		warmup    = flag.Duration("warmup", 60*time.Second, "warm-up before measurement")
-		hbUpper   = flag.Duration("hb-upper", time.Second, "heartbeat upper bound (0 = none)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		nodes    = flag.Int("nodes", 50, "number of processes")
+		mobility = flag.String("mobility", "rwp", "rwp | city | manhattan | highway | static")
+		side     = flag.Float64("side", 2887, "square area side in meters (rwp/static)")
+		speedMin = flag.Float64("speed-min", 0, "min speed m/s (rwp; 0 = same as -speed)")
+		speed    = flag.Float64("speed", 10, "max speed m/s (rwp)")
+		radio    = flag.Float64("range", 339, "radio range in meters")
+		subs     = flag.Float64("subscribers", 0.8, "fraction subscribed to the event topic")
+		events   = flag.Int("events", 1, "events to publish")
+		validity = flag.Duration("validity", 120*time.Second, "event validity period")
+		warmup   = flag.Duration("warmup", 60*time.Second, "warm-up before measurement")
+		hbUpper  = flag.Duration("hb-upper", time.Second, "heartbeat upper bound (0 = none)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		tiles    = flag.Int("tiles", 0,
+			"geo tiles the run is sharded across (0 = auto by size, 1 = single engine); results are byte-identical at any value")
 		showTrace = flag.Int("trace", 0, "print the last N timeline records (0 = off)")
 		timeline  = flag.Bool("timeline", false, "print per-event coverage over time")
 	)
@@ -81,7 +83,7 @@ func main() {
 		// meaningful. Reject the rest instead of silently ignoring it.
 		compatible := map[string]bool{
 			"scenario": true, "protocol": true, "seed": true,
-			"trace": true, "timeline": true,
+			"tiles": true, "trace": true, "timeline": true,
 		}
 		for name := range explicit {
 			if !compatible[name] {
@@ -183,6 +185,7 @@ func main() {
 			sc.Workload = spec
 		}
 	}
+	sc.Tiles = *tiles
 	if *showTrace > 0 {
 		sc.Trace = trace.New(*showTrace)
 	}
@@ -206,7 +209,12 @@ func main() {
 	fmt.Printf("scenario: %s — %d nodes, %v mobility, %v, %.0f%% subscribers, %d event(s)%s\n",
 		sc.Name, sc.Nodes, sc.Mobility.Kind, sc.Protocol,
 		sc.SubscriberFraction*100, len(sc.Publications), workloadNote)
-	fmt.Printf("simulated %v (wall %v)\n\n", sc.Warmup+sc.Measure, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("simulated %v (wall %v)\n", sc.Warmup+sc.Measure, time.Since(start).Round(time.Millisecond))
+	if ts := res.Tile; ts != nil {
+		fmt.Printf("tiled across %d tiles: %d windows, %d border crossings, %d border frames, %d/%d frames fanned/serial\n",
+			ts.Tiles, ts.Windows, ts.Crossings, ts.BorderFrames, ts.FannedFrames, ts.SerialFrames)
+	}
+	fmt.Println()
 
 	tb := metrics.NewTable("per-process averages over the measurement window",
 		"metric", "value")

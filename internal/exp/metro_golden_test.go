@@ -29,3 +29,30 @@ func TestMetroFingerprint(t *testing.T) {
 	}
 	checkGolden(t, "metro-5k-fingerprint", res.Fingerprint()+"\n")
 }
+
+// TestMetroSliceFingerprint pins the metro-slice district run — the
+// tile-parallel fixture — bit for bit, untiled and at four tiles
+// against the same golden: the tiled runner's byte-identity contract
+// enforced against on-disk bytes, in tier-1 time (a few seconds per
+// run), not just between two same-process runs.
+func TestMetroSliceFingerprint(t *testing.T) {
+	def, ok := netsim.LookupScenario("metro-slice")
+	if !ok {
+		t.Fatal("metro-slice not registered")
+	}
+	res, err := netsim.Run(def.Instantiate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metro-slice-fingerprint", res.Fingerprint()+"\n")
+	if testing.Short() {
+		return
+	}
+	sc := def.Instantiate(1)
+	sc.Tiles = 4
+	tiled, err := netsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metro-slice-fingerprint", tiled.Fingerprint()+"\n")
+}

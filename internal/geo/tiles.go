@@ -1,0 +1,182 @@
+package geo
+
+import "math"
+
+// Tiling partitions a bounding rectangle into K contiguous rectangular
+// tiles for the tile-parallel simulation runner (internal/netsim). It
+// follows the cellCore addressing discipline: tile lookup is two
+// multiplies and two clamps on a row-major col x row decomposition, and
+// positions outside the bounds land in the border tiles, so arbitrary
+// out-of-bounds traffic degrades gracefully instead of faulting.
+//
+// Unlike cellCore — whose cell size is fixed by radio range — a Tiling
+// is sized by a target tile *count*: K is split into the cols x rows
+// factorization whose tiles are closest to square for the given bounds,
+// so a 7-tile request on a wide city yields 7x1 vertical stripes and a
+// square city splits 4 into 2x2. Every position maps to exactly one
+// tile at any K, including K=1 (the whole bounds).
+//
+// The origin of the tile lattice can be shifted (Shift): boundaries
+// move by the shift modulo the tile pitch while the clamped border
+// tiles absorb the slack. A shifted tiling is a different partition of
+// the same plane — the metamorphic lever tileparity_test.go uses to
+// assert results are invariant under re-partitioning.
+type Tiling struct {
+	bounds       Rect
+	cols, rows   int
+	tileW, tileH float64 // tile pitch, meters (0 if a single col/row)
+	offX, offY   float64 // lattice origin offset from bounds.Min
+}
+
+// NewTiling partitions bounds into k tiles, shifting the tile lattice
+// origin by shift (wrapped into one tile pitch). k < 1 is treated as 1.
+func NewTiling(bounds Rect, k int, shift Point) Tiling {
+	if k < 1 {
+		k = 1
+	}
+	w, h := bounds.Width(), bounds.Height()
+	// Pick the divisor pair cols*rows == k with the most square tiles.
+	cols, rows := k, 1
+	best := math.Inf(1)
+	for d := 1; d <= k; d++ {
+		if k%d != 0 {
+			continue
+		}
+		c, r := d, k/d
+		tw, th := w/float64(c), h/float64(r)
+		if tw <= 0 || th <= 0 {
+			// Degenerate extent: only stripes along the live axis (or a
+			// single tile) avoid zero-width tiles.
+			if (tw <= 0 && c > 1) || (th <= 0 && r > 1) {
+				continue
+			}
+			tw, th = math.Max(tw, 1), math.Max(th, 1)
+		}
+		if score := math.Max(tw/th, th/tw); score < best {
+			best, cols, rows = score, c, r
+		}
+	}
+	if math.IsInf(best, 1) { // both extents degenerate
+		cols, rows = 1, 1
+	}
+	t := Tiling{bounds: bounds, cols: cols, rows: rows}
+	if cols > 1 {
+		t.tileW = w / float64(cols)
+		t.offX = math.Mod(shift.X, t.tileW)
+		if t.offX < 0 {
+			t.offX += t.tileW
+		}
+	}
+	if rows > 1 {
+		t.tileH = h / float64(rows)
+		t.offY = math.Mod(shift.Y, t.tileH)
+		if t.offY < 0 {
+			t.offY += t.tileH
+		}
+	}
+	return t
+}
+
+// K returns the tile count.
+func (t Tiling) K() int { return t.cols * t.rows }
+
+// Dims returns the cols x rows decomposition.
+func (t Tiling) Dims() (cols, rows int) { return t.cols, t.rows }
+
+// Bounds returns the tiled rectangle.
+func (t Tiling) Bounds() Rect { return t.bounds }
+
+// col returns the clamped tile column of x.
+func (t Tiling) col(x float64) int {
+	if t.cols == 1 {
+		return 0
+	}
+	c := int(math.Floor((x - t.bounds.Min.X - t.offX) / t.tileW))
+	if c < 0 {
+		return 0
+	}
+	if c >= t.cols {
+		return t.cols - 1
+	}
+	return c
+}
+
+// row returns the clamped tile row of y.
+func (t Tiling) row(y float64) int {
+	if t.rows == 1 {
+		return 0
+	}
+	r := int(math.Floor((y - t.bounds.Min.Y - t.offY) / t.tileH))
+	if r < 0 {
+		return 0
+	}
+	if r >= t.rows {
+		return t.rows - 1
+	}
+	return r
+}
+
+// TileOf returns the tile index of p, row-major.
+func (t Tiling) TileOf(p Point) int {
+	return t.row(p.Y)*t.cols + t.col(p.X)
+}
+
+// TileRect returns tile i's rectangle. Border tiles extend to the
+// bounds edge, absorbing the lattice shift, so the K rectangles
+// partition the bounds exactly.
+func (t Tiling) TileRect(i int) Rect {
+	c, r := i%t.cols, i/t.cols
+	rect := t.bounds
+	if t.cols > 1 {
+		if c > 0 {
+			rect.Min.X = t.bounds.Min.X + t.offX + float64(c)*t.tileW
+		}
+		if c < t.cols-1 {
+			rect.Max.X = t.bounds.Min.X + t.offX + float64(c+1)*t.tileW
+		}
+		if rect.Min.X > rect.Max.X {
+			rect.Min.X = rect.Max.X
+		}
+	}
+	if t.rows > 1 {
+		if r > 0 {
+			rect.Min.Y = t.bounds.Min.Y + t.offY + float64(r)*t.tileH
+		}
+		if r < t.rows-1 {
+			rect.Max.Y = t.bounds.Min.Y + t.offY + float64(r+1)*t.tileH
+		}
+		if rect.Min.Y > rect.Max.Y {
+			rect.Min.Y = rect.Max.Y
+		}
+	}
+	return rect
+}
+
+// Halo returns tile i's rectangle inflated by pad on every side — the
+// region a neighbor-tile transmission must reach into to concern this
+// tile. The runner derives pad from radio range plus the mobility
+// speed bound times the synchronization window, mirroring the MAC
+// grid's staleness margin.
+func (t Tiling) Halo(i int, pad float64) Rect {
+	r := t.TileRect(i)
+	r.Min.X -= pad
+	r.Min.Y -= pad
+	r.Max.X += pad
+	r.Max.Y += pad
+	return r
+}
+
+// AppendDiscTiles appends the indexes of every tile whose rectangle
+// intersects the axis-aligned bounding square of the disc (p, radius)
+// to buf and returns it — the cross-tile test for one transmission.
+// Result length 1 means the disc stays inside one tile.
+func (t Tiling) AppendDiscTiles(p Point, radius float64, buf []int32) []int32 {
+	lox, hix := t.col(p.X-radius), t.col(p.X+radius)
+	loy, hiy := t.row(p.Y-radius), t.row(p.Y+radius)
+	for r := loy; r <= hiy; r++ {
+		for c := lox; c <= hix; c++ {
+			buf = append(buf, int32(r*t.cols+c))
+		}
+	}
+	return buf
+}

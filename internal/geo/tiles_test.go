@@ -1,0 +1,109 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTilingPartition checks that every point maps to exactly the tile
+// whose rectangle contains it, for assorted K and shifted lattices.
+func TestTilingPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bounds := Rect{Min: Pt(-50, 10), Max: Pt(950, 710)}
+	for _, k := range []int{1, 2, 3, 4, 6, 7, 8, 12} {
+		for _, shift := range []Point{{}, {X: 137, Y: -91}, {X: -0.5, Y: 10000}} {
+			tl := NewTiling(bounds, k, shift)
+			if tl.K() != k {
+				t.Fatalf("k=%d shift=%v: K()=%d", k, shift, tl.K())
+			}
+			cols, rows := tl.Dims()
+			if cols*rows != k {
+				t.Fatalf("k=%d: dims %dx%d", k, cols, rows)
+			}
+			for i := 0; i < 2000; i++ {
+				p := Pt(bounds.Min.X+rng.Float64()*bounds.Width(),
+					bounds.Min.Y+rng.Float64()*bounds.Height())
+				ti := tl.TileOf(p)
+				if ti < 0 || ti >= k {
+					t.Fatalf("k=%d shift=%v: TileOf(%v)=%d out of range", k, shift, p, ti)
+				}
+				if r := tl.TileRect(ti); !r.Contains(p) {
+					t.Fatalf("k=%d shift=%v: %v assigned to tile %d rect %+v", k, shift, p, ti, r)
+				}
+			}
+		}
+	}
+}
+
+// TestTilingRectsPartitionBounds checks the K rectangles tile the
+// bounds exactly: areas sum to the whole and edges chain without gaps.
+func TestTilingRectsPartitionBounds(t *testing.T) {
+	bounds := Rect{Min: Pt(0, 0), Max: Pt(1200, 800)}
+	for _, k := range []int{1, 2, 4, 7, 9} {
+		tl := NewTiling(bounds, k, Pt(41, 77))
+		var area float64
+		for i := 0; i < k; i++ {
+			area += tl.TileRect(i).Area()
+		}
+		if diff := area - bounds.Area(); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("k=%d: tile areas sum to %v, bounds %v", k, area, bounds.Area())
+		}
+	}
+}
+
+// TestTilingOutOfBoundsClamps checks border tiles absorb positions
+// outside the bounds, mirroring cellCore's clamping contract.
+func TestTilingOutOfBoundsClamps(t *testing.T) {
+	tl := NewTiling(NewRect(1000, 1000), 4, Point{})
+	for _, p := range []Point{Pt(-1e6, -1e6), Pt(1e6, 1e6), Pt(500, -3), Pt(2000, 500)} {
+		ti := tl.TileOf(p)
+		if ti < 0 || ti >= 4 {
+			t.Fatalf("TileOf(%v)=%d out of range", p, ti)
+		}
+		if want := tl.TileOf(tl.Bounds().Clamp(p)); ti != want {
+			t.Fatalf("TileOf(%v)=%d, clamped maps to %d", p, ti, want)
+		}
+	}
+}
+
+// TestTilingAspect checks the factorization prefers square-ish tiles:
+// a square area splits 4 into 2x2, and a wide strip splits into
+// vertical stripes.
+func TestTilingAspect(t *testing.T) {
+	if c, r := NewTiling(NewRect(1000, 1000), 4, Point{}).Dims(); c != 2 || r != 2 {
+		t.Fatalf("square k=4: got %dx%d, want 2x2", c, r)
+	}
+	if c, r := NewTiling(NewRect(10000, 100), 4, Point{}).Dims(); c != 4 || r != 1 {
+		t.Fatalf("wide k=4: got %dx%d, want 4x1", c, r)
+	}
+	if c, r := NewTiling(NewRect(100, 10000), 7, Point{}).Dims(); c != 1 || r != 7 {
+		t.Fatalf("tall k=7: got %dx%d, want 1x7", c, r)
+	}
+	// Degenerate extents must not produce zero-width tiles.
+	if k := NewTiling(Rect{}, 4, Point{}).K(); k < 1 {
+		t.Fatalf("degenerate bounds: K=%d", k)
+	}
+}
+
+// TestTilingDiscTiles checks the disc-overlap query: a disc inside a
+// tile's interior reports one tile, a disc straddling a boundary
+// reports both, and every reported index is in range.
+func TestTilingDiscTiles(t *testing.T) {
+	tl := NewTiling(NewRect(1000, 1000), 4, Point{}) // 2x2, pitch 500
+	one := tl.AppendDiscTiles(Pt(250, 250), 100, nil)
+	if len(one) != 1 || one[0] != int32(tl.TileOf(Pt(250, 250))) {
+		t.Fatalf("interior disc: %v", one)
+	}
+	two := tl.AppendDiscTiles(Pt(450, 250), 100, nil)
+	if len(two) != 2 {
+		t.Fatalf("boundary disc: %v", two)
+	}
+	all := tl.AppendDiscTiles(Pt(500, 500), 600, nil)
+	if len(all) != 4 {
+		t.Fatalf("covering disc: %v", all)
+	}
+	halo := tl.Halo(0, 50)
+	if r0 := tl.TileRect(0); halo.Width() != r0.Width()+100 || halo.Height() != r0.Height()+100 {
+		t.Fatalf("halo not inflated: %+v vs %+v", halo, r0)
+	}
+}

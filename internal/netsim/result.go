@@ -74,6 +74,11 @@ type Result struct {
 	// local self-delivery and deliveries past the event's validity.
 	// Always populated, with O(1) memory, regardless of DeliveryLog.
 	Latency metrics.LogHist
+	// Tile reports the tile-parallel machinery's activity when the run
+	// was sharded (Scenario.Tiles resolved above one). It is excluded
+	// from Fingerprint: measurements are byte-identical at any tile
+	// count, while these counters legitimately vary with it.
+	Tile *TileStats
 }
 
 // Fingerprint digests everything measured in the run — publications,

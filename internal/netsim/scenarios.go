@@ -249,6 +249,20 @@ func init() {
 			Measure: 60 * time.Second,
 		}
 	}
+	// metro-slice is the metro family scaled to a single district:
+	// same Manhattan-style geometry, diurnal Zipf traffic, churn waves
+	// and streaming-result aggregation, but small enough for tier-1
+	// suites. It is the fixture the tile-parallel runner is pinned on
+	// (exp's TestMetroSliceFingerprint golden, the tiled race test and
+	// BenchmarkTiledMetroSweep); it stays Heavy so the registry-wide
+	// sweeps don't pay for a second mid-size city.
+	RegisterScenario(ScenarioDef{
+		Name:        "metro-slice",
+		Description: "metro district: 600 vehicles on a metro-style grid, diurnal Zipf traffic + churn waves",
+		Runtime:     "seconds",
+		Heavy:       true,
+		Template:    metroTemplate(600),
+	})
 	RegisterScenario(ScenarioDef{
 		Name:        "metro-5k",
 		Description: "city-scale VANET: 5k vehicles on an 11.4 km^2 metro grid, diurnal Zipf traffic + churn waves",

@@ -1,0 +1,423 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// This file is the tile-parallel runner: one city run sharded across
+// cores with results byte-identical to the single-engine path at any
+// tile count (ARCHITECTURE.md, "Tile-parallel contracts").
+//
+// The decomposition has three parts, all conservative:
+//
+//  1. Shared-clock shards (sim.Group): each tile owns an engine shard;
+//     the group steps whichever shard holds the globally earliest
+//     (at, seq) item, so event callbacks execute in exactly the order a
+//     single engine would. This is what keeps the medium's shared RNG
+//     draw sequence — backoff slots, fades — bit-identical.
+//
+//  2. A windowed barrier (prepare): before each window of
+//     mac.Config.GridRefreshPeriod() simulated time, per-tile workers
+//     pre-extend their vehicles' trajectories to the window end, fill a
+//     position slab at the window start, and detect tile crossings.
+//     Crossings merge in deterministic (tileID, within-tile order), and
+//     the MAC node index is force-refreshed from the slab. The window
+//     never exceeds the grid-refresh period, so the speed-bound query
+//     margin already covers any staleness the barrier introduces —
+//     refresh instants are result-neutral (the index is a conservative
+//     superset; exact distance re-checks precede every observable
+//     effect).
+//
+//  3. Capture-and-replay delivery fan (mac.SetDeliverFan): the serial
+//     MAC pass classifies receivers and draws all randomness; the
+//     surviving clean ranks are chunked to per-tile workers that run the
+//     protocol handlers concurrently, capturing their side effects
+//     (broadcasts, timers, deliveries) into per-worker buffers replayed
+//     in ascending rank order — the same order the serial loop would
+//     have produced them.
+type tileRun struct {
+	r      *runner
+	medium *mac.Medium
+	plan   geo.Tiling
+	group  *sim.Group
+	shards []*sim.Engine
+	window time.Duration
+
+	// owner[rank] is the tile whose shard files the node's MAC timers;
+	// ranksOf[tile] lists the ranks each prep worker extends. Ownership
+	// only steers work placement — results do not depend on it.
+	owner   []int32
+	ranksOf [][]int32
+
+	// posSlab holds every node's position at the current window start,
+	// filled by the prep workers and handed to RefreshNodeGrid.
+	posSlab     []geo.Point
+	refreshGrid bool
+
+	// Per-rank protocol wiring captured at build time so replayed and
+	// fanned actions can reach it without going through proto.Env.
+	transports []portTransport
+	deliverTo  []func(event.Event)
+
+	// bufOf[rank] is non-nil only while the fan runs: it routes the
+	// rank's handler side effects into its worker's capture buffer.
+	bufOf []*actBuf
+	bufs  []actBuf
+
+	jobs []chan tileJob
+	wg   sync.WaitGroup
+
+	// crossings[tile] collects the tile's border crossings each window.
+	crossings [][]crossing
+	discBuf   []int32
+	haloPad   float64
+
+	// fanWorkers caps the fan's concurrency at the host's usable
+	// parallelism: a capture/replay round trip on a single-core host is
+	// pure overhead, so one worker degrades to inline delivery. The cap
+	// never changes results — both paths produce the same action order.
+	// Tests raise it to exercise the fan machinery on any host.
+	fanWorkers int
+
+	stats TileStats
+}
+
+// TileStats reports how a tile-parallel run exercised the machinery.
+// It lives outside Result.Fingerprint (which hashes measurements only),
+// because worker counts and fan thresholds may legitimately vary with
+// the host while results stay byte-identical.
+type TileStats struct {
+	// Tiles is the resolved tile (and shard/worker) count.
+	Tiles int
+	// Windows counts barrier synchronizations.
+	Windows uint64
+	// Crossings counts vehicles re-assigned across tile borders.
+	Crossings uint64
+	// BorderFrames counts transmissions whose reception disc (padded by
+	// the staleness margin) overlaps more than one tile.
+	BorderFrames uint64
+	// FannedFrames and SerialFrames split delivered frames by path:
+	// parallel handler fan vs. the inline fallback for small fan-outs.
+	FannedFrames uint64
+	SerialFrames uint64
+}
+
+type crossing struct {
+	rank int32
+	to   int32
+}
+
+type tileJob struct {
+	// prep when frame.Msg is nil: fill posSlab and detect crossings for
+	// ranks over [start, end]. Otherwise fan: deliver frame to ranks.
+	ranks      []int32
+	start, end sim.Time
+	fan        bool
+	frame      mac.Frame
+}
+
+// fanMinReceivers is the break-even fan-out: below it the
+// coordinator delivers inline. The threshold is result-neutral — both
+// paths produce identical action order — so it can be tuned freely.
+const fanMinReceivers = 4
+
+// testForceFan disables the GOMAXPROCS fan degradation so parity tests
+// execute the capture/replay path even on single-core hosts. Set only
+// by tests in this package.
+var testForceFan = false
+
+// actKind enumerates captured handler side effects.
+type actKind uint8
+
+const (
+	actBroadcast actKind = iota
+	actAfter
+	actStop
+	actDeliver
+)
+
+// action is one captured side effect; replay applies them in capture
+// order, which within a worker is ascending rank order.
+type action struct {
+	kind  actKind
+	rank  int32
+	d     time.Duration
+	fn    func()
+	timer *tileTimer
+	msg   event.Message
+	ev    event.Event
+}
+
+type actBuf struct{ acts []action }
+
+// tileTimer is the proto.Timer handed to protocols in a tiled run. In
+// normal (serial) operation it is a thin wrapper over the real shard
+// timer. During capture its Stop defers the mutation into the buffer —
+// computing the return value now via Timer.Live, which a concurrent
+// worker can do safely because liveness can only be changed by this
+// node's own (already visible) actions.
+type tileTimer struct {
+	tr   *tileRun
+	rank int32
+	real *sim.Timer
+	// stopped marks a Stop captured before the timer materialized.
+	stopped bool
+}
+
+func (t *tileTimer) Stop() bool {
+	if b := t.tr.bufOf[t.rank]; b != nil {
+		if t.real == nil {
+			// Created and stopped within the same capture.
+			if t.stopped {
+				return false
+			}
+			t.stopped = true
+			return true
+		}
+		if !t.real.Live() {
+			return false
+		}
+		b.acts = append(b.acts, action{kind: actStop, timer: t})
+		return true
+	}
+	if t.real == nil {
+		// Captured timer replayed as created-then-stopped: never live.
+		return false
+	}
+	return t.real.Stop()
+}
+
+// tileSched is the proto.Scheduler for one node of a tiled run: timers
+// file on the shard of the node's current tile, and During capture
+// After defers scheduling into the buffer.
+type tileSched struct {
+	tr *tileRun
+	// eng is the root engine, kept inline because Now is on the
+	// protocols' hottest path and all shards share one clock anyway.
+	eng  *sim.Engine
+	rank int32
+}
+
+func (s tileSched) Now() time.Duration {
+	return s.eng.Now().Duration()
+}
+
+func (s tileSched) After(d time.Duration, fn func()) proto.Timer {
+	t := &tileTimer{tr: s.tr, rank: s.rank}
+	if b := s.tr.bufOf[s.rank]; b != nil {
+		b.acts = append(b.acts, action{kind: actAfter, rank: s.rank, d: d, fn: fn, timer: t})
+		return t
+	}
+	t.real = s.tr.shardFor(s.rank).After(d, fn)
+	return t
+}
+
+func (tr *tileRun) shardFor(rank int32) *sim.Engine {
+	return tr.shards[tr.owner[rank]]
+}
+
+// newTileRun wires a k-tile run: tiling plan over the medium bounds,
+// k engine shards under one group, k workers, and the MAC hooks. Call
+// after mobility models exist and the medium is attached, before
+// protocols are built (buildProtocol consults it for wiring).
+func newTileRun(r *runner, medium *mac.Medium, cfg mac.Config, k int) *tileRun {
+	tr := &tileRun{
+		r:       r,
+		medium:  medium,
+		plan:    geo.NewTiling(cfg.Bounds, k, r.sc.TileShift),
+		window:  cfg.GridRefreshPeriod(),
+		haloPad: cfg.Range + cfg.MaxSpeed*cfg.GridRefreshPeriod().Seconds(),
+		// Refresh only when the medium runs the cached grid: static
+		// nodes never stale it, FullScan and unbounded speeds rebuild
+		// exactly per instant on their own.
+		refreshGrid: cfg.SpeedBounded && cfg.MaxSpeed > 0 && !cfg.FullScan,
+	}
+	tr.stats.Tiles = tr.plan.K()
+	tr.fanWorkers = tr.plan.K()
+	if p := runtime.GOMAXPROCS(0); p < tr.fanWorkers && !testForceFan {
+		tr.fanWorkers = p
+	}
+	n := len(r.nodes)
+	tr.owner = make([]int32, n)
+	tr.ranksOf = make([][]int32, tr.plan.K())
+	tr.posSlab = make([]geo.Point, n)
+	tr.transports = make([]portTransport, n)
+	tr.deliverTo = make([]func(event.Event), n)
+	tr.bufOf = make([]*actBuf, n)
+	tr.bufs = make([]actBuf, tr.plan.K())
+	tr.crossings = make([][]crossing, tr.plan.K())
+	tr.jobs = make([]chan tileJob, tr.plan.K())
+	for i := range tr.jobs {
+		tr.jobs[i] = make(chan tileJob, 1)
+	}
+	for rank, nd := range r.nodes {
+		t := int32(tr.plan.TileOf(nd.model.Position(0)))
+		tr.owner[rank] = t
+		tr.ranksOf[t] = append(tr.ranksOf[t], int32(rank))
+	}
+	tr.group = sim.NewGroup(r.eng, tr.plan.K()-1, tr.window, tr.prepare)
+	tr.shards = tr.group.Shards()
+	medium.SetShardRouter(tr.shardFor)
+	// The fan workers bypass the rx wrapper's trace hook and the
+	// shadowing model's RNG draws; both demand the serial path.
+	if r.sc.Trace == nil && cfg.ReceiveProb == nil {
+		medium.SetDeliverFan(tr.deliverFan)
+	}
+	return tr
+}
+
+// runUntil drives the whole tiled simulation: workers up, group merge
+// loop, workers down.
+func (tr *tileRun) runUntil(end sim.Time) {
+	for w := range tr.jobs {
+		go tr.worker(w)
+	}
+	tr.group.RunUntil(end)
+	for _, ch := range tr.jobs {
+		close(ch)
+	}
+}
+
+func (tr *tileRun) worker(w int) {
+	for job := range tr.jobs[w] {
+		if job.fan {
+			for _, rank := range job.ranks {
+				tr.medium.DeliverTo(rank, job.frame)
+			}
+		} else {
+			tr.prep(w, job.ranks, job.start, job.end)
+		}
+		tr.wg.Done()
+	}
+}
+
+// prep extends one tile's trajectories through the window and detects
+// border crossings. Mobility models are pure functions of time with
+// memoized legs, so concurrent extension across distinct nodes is safe
+// and order-free; crossings are judged on the window-end position.
+func (tr *tileRun) prep(w int, ranks []int32, start, end sim.Time) {
+	for _, rank := range ranks {
+		m := tr.r.nodes[rank].model
+		tr.posSlab[rank] = m.Position(start)
+		if to := int32(tr.plan.TileOf(m.Position(end))); to != tr.owner[rank] {
+			tr.crossings[w] = append(tr.crossings[w], crossing{rank: rank, to: to})
+		}
+	}
+}
+
+// prepare is the group's window barrier: parallel per-tile prep, then a
+// deterministic (tileID, within-tile order) merge of crossings, then
+// the forced index refresh. Determinism note: ownership moves affect
+// only which shard future timers file on and which worker preps the
+// node — the (at, seq) merge makes both invisible in results.
+func (tr *tileRun) prepare(start, end sim.Time) {
+	tr.stats.Windows++
+	for w := range tr.jobs {
+		tr.crossings[w] = tr.crossings[w][:0]
+		tr.wg.Add(1)
+		tr.jobs[w] <- tileJob{ranks: tr.ranksOf[w], start: start, end: end}
+	}
+	tr.wg.Wait()
+	moved := false
+	for w := range tr.crossings {
+		for _, c := range tr.crossings[w] {
+			tr.stats.Crossings++
+			tr.owner[c.rank] = c.to
+			moved = true
+		}
+	}
+	if moved {
+		for t := range tr.ranksOf {
+			tr.ranksOf[t] = tr.ranksOf[t][:0]
+		}
+		for rank, t := range tr.owner {
+			tr.ranksOf[t] = append(tr.ranksOf[t], int32(rank))
+		}
+	}
+	if tr.refreshGrid {
+		tr.medium.RefreshNodeGrid(start, tr.posSlab)
+	}
+}
+
+// deliverFan is the mac.SetDeliverFan hook: chunk the clean receivers
+// into contiguous ascending-rank spans, run their handlers on the
+// workers with side effects captured, then replay the buffers in worker
+// order — reproducing the serial loop's exact action sequence.
+func (tr *tileRun) deliverFan(txPos geo.Point, clean []int32, f mac.Frame) {
+	tr.discBuf = tr.plan.AppendDiscTiles(txPos, tr.haloPad, tr.discBuf[:0])
+	if len(tr.discBuf) > 1 {
+		tr.stats.BorderFrames++
+	}
+	n := len(clean)
+	if n < fanMinReceivers || tr.fanWorkers < 2 {
+		tr.stats.SerialFrames++
+		for _, rank := range clean {
+			tr.medium.DeliverTo(rank, f)
+		}
+		return
+	}
+	tr.stats.FannedFrames++
+	workers := tr.fanWorkers
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	used := 0
+	for i := 0; i < n; i += chunk {
+		j := i + chunk
+		if j > n {
+			j = n
+		}
+		b := &tr.bufs[used]
+		for _, rank := range clean[i:j] {
+			tr.bufOf[rank] = b
+		}
+		tr.wg.Add(1)
+		tr.jobs[used] <- tileJob{ranks: clean[i:j], fan: true, frame: f}
+		used++
+	}
+	tr.wg.Wait()
+	// Leave capture mode before replaying: replayed broadcasts and
+	// timers must hit the real transport and shards.
+	for _, rank := range clean {
+		tr.bufOf[rank] = nil
+	}
+	for w := 0; w < used; w++ {
+		tr.replay(&tr.bufs[w])
+	}
+}
+
+// replay applies one worker's captured actions in order. Seq parity: a
+// captured After always materializes the real timer — even when it was
+// stopped within the same capture — because the serial loop would have
+// consumed an engine sequence number for it, and skipping that draw
+// would shift every later item's FIFO tie-break.
+func (tr *tileRun) replay(b *actBuf) {
+	for i := range b.acts {
+		a := &b.acts[i]
+		switch a.kind {
+		case actBroadcast:
+			tr.transports[a.rank].send(a.msg)
+		case actAfter:
+			t := a.timer
+			t.real = tr.shardFor(a.rank).After(a.d, a.fn)
+			if t.stopped {
+				t.real.Stop()
+			}
+		case actStop:
+			a.timer.real.Stop()
+		case actDeliver:
+			tr.deliverTo[a.rank](a.ev)
+		}
+		*a = action{}
+	}
+	b.acts = b.acts[:0]
+}

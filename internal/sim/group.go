@@ -1,0 +1,106 @@
+package sim
+
+import "time"
+
+// Group executes a set of clock-sharing engine shards as if they were
+// one engine: every iteration it steps the shard holding the globally
+// earliest (at, seq) item, so callbacks fire in exactly ascending
+// (at, seq) order across all shards — byte-identical to filing every
+// item on a single engine. This is the merge half of the conservative
+// tile-parallel decomposition (ARCHITECTURE.md, "Tile-parallel
+// contracts"): callbacks still execute serially on the calling
+// goroutine (shared-RNG determinism demands a total order), while the
+// parallelism lives in the prepare hook and in whatever fan-out the
+// callbacks themselves stage through the caller.
+//
+// Time advances in windows: before executing the events of
+// [start, start+window) the optional prepare hook runs once. The
+// tile-parallel runner uses it as the conservative barrier — the place
+// vehicle trajectories are pre-extended in parallel, tile crossings
+// are exchanged, and the MAC position index is refreshed — with the
+// window length derived from the same speed-bound staleness argument
+// as the MAC grid margin. A zero window means one window spanning the
+// whole run.
+type Group struct {
+	shards  []*Engine
+	window  time.Duration
+	prepare func(start, end Time)
+}
+
+// NewGroup returns a group of 1+extra shards: the root engine plus
+// extra new shards created via NewShard. prepare (optional) runs at
+// every window boundary before the window's events execute.
+func NewGroup(root *Engine, extra int, window time.Duration, prepare func(start, end Time)) *Group {
+	if extra < 0 {
+		panic("sim: negative shard count")
+	}
+	shards := make([]*Engine, 1+extra)
+	shards[0] = root
+	for i := 1; i < len(shards); i++ {
+		shards[i] = root.NewShard()
+	}
+	return &Group{shards: shards, window: window, prepare: prepare}
+}
+
+// Shards returns the group's engines, root first. The slice is shared,
+// not copied; callers distribute work by scheduling on the shard that
+// owns the relevant tile.
+func (g *Group) Shards() []*Engine { return g.shards }
+
+// RunUntil executes all callbacks scheduled at or before limit across
+// every shard, in global (at, seq) order, then advances the shared
+// clock to limit. With one shard and a nil prepare hook it is
+// behaviorally identical to Engine.RunUntil.
+func (g *Group) RunUntil(limit Time) {
+	clk := g.shards[0].clk
+	clk.halt = false
+	for {
+		start := clk.now
+		end := limit
+		if g.window > 0 {
+			if w := start.Add(g.window); w < limit {
+				end = w
+			}
+		}
+		if g.prepare != nil {
+			g.prepare(start, end)
+		}
+		for !clk.halt {
+			best := -1
+			var bestAt Time
+			var bestSeq uint64
+			for i, e := range g.shards {
+				at, seq, ok := e.head()
+				if !ok || at > end {
+					continue
+				}
+				if best < 0 || at < bestAt || (at == bestAt && seq < bestSeq) {
+					best, bestAt, bestSeq = i, at, seq
+				}
+			}
+			if best < 0 {
+				break
+			}
+			g.shards[best].Step()
+		}
+		if clk.halt {
+			return
+		}
+		if clk.now < end {
+			clk.now = end
+		}
+		if end >= limit {
+			return
+		}
+	}
+}
+
+// Pending returns the number of live queued callbacks across all
+// shards.
+func (g *Group) Pending() int {
+	n := 0
+	for _, e := range g.shards {
+		n += e.Pending()
+	}
+	return n
+}

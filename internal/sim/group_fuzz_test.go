@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// FuzzTileMerge is the property test of the windowed tile merge: a
+// randomized cross-tile schedule — byte-decoded into ops with
+// arbitrary delays, shard assignments and nested cross-shard
+// rescheduling — must fire in exactly the single-engine (at, seq)
+// FIFO order, for any shard count and any window length. Each op is
+// three bytes: delay (ms, 0-255 scaled x16), target shard, nesting
+// depth; children hop to the next shard with half the delay, modeling
+// a message crossing a tile border.
+func FuzzTileMerge(f *testing.F) {
+	f.Add([]byte{0x10, 0x01, 0x02, 0x10, 0x00, 0x00, 0x00, 0x02, 0x03}, uint8(4), uint16(100))
+	f.Add([]byte{0xff, 0x06, 0x01, 0x08, 0x03, 0x02, 0x08, 0x03, 0x00}, uint8(7), uint16(0))
+	f.Add([]byte{0x20, 0x00, 0x04, 0x20, 0x01, 0x04, 0x20, 0x02, 0x04}, uint8(2), uint16(1))
+	f.Add([]byte{0xc8, 0x02, 0x00, 0xc8, 0x01, 0x00, 0xc8, 0x00, 0x00}, uint8(3), uint16(200))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8, windowMs uint16) {
+		k := int(kRaw%7) + 1
+		window := time.Duration(windowMs%500) * time.Millisecond
+		var ops []mergeOp
+		for i := 0; i+2 < len(data) && len(ops) < 64; i += 3 {
+			ops = append(ops, mergeOp{
+				delay: time.Duration(data[i]) * 16 * time.Millisecond,
+				shard: int(data[i+1]),
+				nest:  int(data[i+2] % 4),
+			})
+		}
+		limit := Seconds(8)
+		want := runMerged(ops, 0, 0, limit)
+		got := runMerged(ops, k, window, limit)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("k=%d window=%v diverged from single engine:\n got %v\nwant %v",
+				k, window, got, want)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mergeOp is one schedule entry of the differential harness: after
+// delay, log a label; if nest > 0, schedule a child op on the next
+// shard (a cross-tile message) with half the delay.
+type mergeOp struct {
+	delay time.Duration
+	shard int
+	nest  int
+}
+
+// runMerged executes ops on a k-shard group with the given window and
+// returns the execution log "label@instant" in firing order. k = 0
+// runs the single-engine reference (plain Engine.RunUntil).
+func runMerged(ops []mergeOp, k int, window time.Duration, limit Time) []string {
+	root := New(1)
+	var shards []*Engine
+	var group *Group
+	if k == 0 {
+		shards = []*Engine{root}
+	} else {
+		group = NewGroup(root, k-1, window, nil)
+		shards = group.Shards()
+	}
+	var log []string
+	var file func(op mergeOp, id string)
+	file = func(op mergeOp, id string) {
+		e := shards[op.shard%len(shards)]
+		e.After(op.delay, func() {
+			log = append(log, fmt.Sprintf("%s@%d", id, e.Now()))
+			if op.nest > 0 {
+				file(mergeOp{delay: op.delay / 2, shard: op.shard + 1, nest: op.nest - 1}, id+"'")
+			}
+		})
+	}
+	for i, op := range ops {
+		file(op, fmt.Sprintf("op%d", i))
+	}
+	if group != nil {
+		group.RunUntil(limit)
+	} else {
+		root.RunUntil(limit)
+	}
+	return log
+}
+
+// TestGroupMatchesSingleEngine checks the core merge invariant: a
+// k-shard group fires the same callbacks at the same instants in the
+// same order as one engine, for assorted shard counts, windows and
+// same-instant ties.
+func TestGroupMatchesSingleEngine(t *testing.T) {
+	ops := []mergeOp{
+		{10 * time.Millisecond, 2, 2},
+		{10 * time.Millisecond, 0, 0}, // same-instant tie across shards
+		{0, 1, 3},
+		{250 * time.Millisecond, 3, 1},
+		{10 * time.Millisecond, 1, 0}, // three-way tie
+		{199 * time.Millisecond, 5, 2},
+		{200 * time.Millisecond, 4, 0}, // lands exactly on a window edge
+	}
+	limit := Seconds(1)
+	want := runMerged(ops, 0, 0, limit)
+	if len(want) < len(ops) {
+		t.Fatalf("reference run fired %d < %d callbacks", len(want), len(ops))
+	}
+	for _, k := range []int{1, 2, 4, 7} {
+		for _, w := range []time.Duration{0, 200 * time.Millisecond, time.Millisecond} {
+			got := runMerged(ops, k, w, limit)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("k=%d window=%v:\n got %v\nwant %v", k, w, got, want)
+			}
+		}
+	}
+}
+
+// TestGroupWindowBarrier checks the prepare hook runs once per window
+// with contiguous [start, end) spans covering the whole run, and that
+// events never execute before their window's prepare.
+func TestGroupWindowBarrier(t *testing.T) {
+	root := New(1)
+	var spans [][2]Time
+	prepared := Time(-1)
+	g := NewGroup(root, 3, 100*time.Millisecond, func(start, end Time) {
+		spans = append(spans, [2]Time{start, end})
+		prepared = end
+	})
+	for i := 0; i < 10; i++ {
+		d := time.Duration(i) * 77 * time.Millisecond
+		g.Shards()[i%4].After(d, func() {
+			if at := root.Now(); at > prepared {
+				t.Errorf("event at %v ran past prepared horizon %v", at, prepared)
+			}
+		})
+	}
+	g.RunUntil(Seconds(1))
+	if len(spans) != 10 {
+		t.Fatalf("want 10 windows over 1 s at 100 ms, got %d: %v", len(spans), spans)
+	}
+	for i, s := range spans {
+		if i > 0 && s[0] != spans[i-1][1] {
+			t.Fatalf("window %d starts at %v, previous ended %v", i, s[0], spans[i-1][1])
+		}
+	}
+	if spans[0][0] != 0 || spans[len(spans)-1][1] != Seconds(1) {
+		t.Fatalf("windows do not cover [0, 1s]: %v", spans)
+	}
+	if root.Now() != Seconds(1) {
+		t.Fatalf("clock at %v, want 1 s", root.Now())
+	}
+}
+
+// TestGroupHalt checks Halt from inside a callback stops the group
+// loop just as it stops a single engine.
+func TestGroupHalt(t *testing.T) {
+	root := New(1)
+	g := NewGroup(root, 1, 0, nil)
+	ran := 0
+	g.Shards()[1].After(time.Millisecond, func() { ran++; root.Halt() })
+	g.Shards()[0].After(2*time.Millisecond, func() { ran++ })
+	g.RunUntil(Seconds(1))
+	if ran != 1 {
+		t.Fatalf("halt did not stop the group: ran=%d", ran)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending after halt = %d, want 1", g.Pending())
+	}
+}
+
+// TestShardSeqIsGlobal checks items filed on different shards draw
+// from one seq counter — the property FIFO tie-breaking rests on.
+func TestShardSeqIsGlobal(t *testing.T) {
+	root := New(1)
+	shard := root.NewShard()
+	var order []int
+	root.At(Seconds(1), func() { order = append(order, 0) })
+	shard.At(Seconds(1), func() { order = append(order, 1) })
+	root.At(Seconds(1), func() { order = append(order, 2) })
+	g := &Group{shards: []*Engine{root, shard}}
+	g.RunUntil(Seconds(2))
+	if fmt.Sprint(order) != "[0 1 2]" {
+		t.Fatalf("same-instant FIFO across shards broken: %v", order)
+	}
+}
+
+// TestTimerLive checks Live mirrors Stop's predicate without mutating.
+func TestTimerLive(t *testing.T) {
+	e := New(1)
+	tm := e.After(time.Millisecond, func() {})
+	if !tm.Live() {
+		t.Fatal("fresh timer not live")
+	}
+	if !tm.Stop() || tm.Live() {
+		t.Fatal("stopped timer still live")
+	}
+	tm2 := e.After(time.Millisecond, func() {})
+	e.RunUntil(Seconds(1))
+	if tm2.Live() {
+		t.Fatal("fired timer still live")
+	}
+	var nilT *Timer
+	if nilT.Live() {
+		t.Fatal("nil timer live")
+	}
+}
