@@ -23,6 +23,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topic"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -817,4 +818,76 @@ func BenchmarkExtShadowing(b *testing.B) {
 		rel += runReliability(b, sc, -1, 120*time.Second)
 	}
 	b.ReportMetric(rel/float64(b.N), "reliability")
+}
+
+// BenchmarkAppendMarshal pins the pooled codec's zero-alloc contract:
+// marshaling the transport's message mix into a warm buffer must not
+// touch the heap (allocs/op is the guarded signal; the CI bench diff
+// hard-fails any 0 -> nonzero move).
+func BenchmarkAppendMarshal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	msgs := []event.Message{
+		event.Heartbeat{From: 1, Speed: 3, Subscriptions: []topic.Topic{topic.MustParse(".app.news")}},
+		event.IDList{From: 1, IDs: []event.ID{event.NewID(rng), event.NewID(rng)}},
+		event.Events{
+			From:      3,
+			Receivers: []event.NodeID{1, 2, 5},
+			Events: []event.Event{{
+				ID:        event.NewID(rng),
+				Topic:     topic.MustParse(".a.b.c"),
+				Publisher: 3,
+				Payload:   make([]byte, 400),
+				Validity:  time.Minute,
+				Remaining: 30 * time.Second,
+			}},
+		},
+	}
+	buf := make([]byte, 0, 4096)
+	var bytesOut int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			buf = event.AppendMarshal(buf[:0], m)
+			bytesOut += len(buf)
+		}
+	}
+	b.ReportMetric(float64(bytesOut)/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkUDPBroadcast pins the protocol layer's cost of a real-path
+// send: marshal into a pooled ring slot and kick the writer. The writer
+// is parked on a distant flush tick so the measurement isolates the
+// enqueue path the protocol pays — which must stay allocation-free
+// (0 allocs/op is the guarded signal in the CI bench diff).
+func BenchmarkUDPBroadcast(b *testing.B) {
+	const perOp = 512 // one full ring per iteration smooths -benchtime=1x noise
+	u, err := transport.NewUDP(transport.UDPConfig{
+		Listen:        "127.0.0.1:0",
+		Handler:       func(event.Message) {},
+		SendQueue:     perOp,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		b.Skipf("UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	var msg event.Message = event.Heartbeat{
+		From:          7,
+		Speed:         1.5,
+		Subscriptions: []topic.Topic{topic.MustParse(".app.news")},
+	}
+	// Warm every slot buffer once around the ring.
+	for i := 0; i < perOp; i++ {
+		u.Broadcast(msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < perOp; j++ {
+			u.Broadcast(msg)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*perOp)/b.Elapsed().Seconds(), "msgs/s")
 }

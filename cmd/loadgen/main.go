@@ -1,0 +1,410 @@
+// Command loadgen soak-tests the real pubsub fast path: it instantiates
+// N full protocol nodes on in-process UDP loopback sockets (a complete
+// mesh, the LAN-testbed shape of examples/udpmesh), drives them with the
+// same registered workload generators the simulator uses, and reports
+// what the wire actually did — delivery ratio, protocol messages per
+// delivery, datagram throughput, publish-to-delivery latency quantiles —
+// next to the prediction netsim.Run makes for the matching scenario.
+//
+// That side-by-side is the point: the simulator's claims about the
+// protocol are validated against real sockets, real goroutines, and the
+// real codec under load, with the transport's backpressure counters
+// (queue drops, decode errors) surfaced alongside.
+//
+// Examples:
+//
+//	loadgen -nodes 50 -duration 10s                  # default poisson soak
+//	loadgen -nodes 50 -duration 5s -check            # CI smoke: assert vs sim
+//	loadgen -workload flash-crowd -rate 5 -peak 200  # burst overload
+//	loadgen -spread 16 -zipf 1.2                     # Zipf topic popularity
+//	loadgen -list                                    # traffic generator catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/topic"
+	"repro/internal/workload"
+	"repro/pubsub"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// evRec tracks one published event's real-path outcome.
+type evRec struct {
+	at       time.Time
+	eligible int
+	got      int
+}
+
+// tracker accumulates deliveries across all nodes' OnDeliver callbacks.
+type tracker struct {
+	mu      sync.Mutex
+	events  map[event.ID]*evRec
+	latency metrics.LogHist
+	late    int // deliveries of events published before tracking started
+}
+
+func (tr *tracker) published(id event.ID, eligible int) {
+	tr.mu.Lock()
+	tr.events[id] = &evRec{at: time.Now(), eligible: eligible}
+	tr.mu.Unlock()
+}
+
+func (tr *tracker) delivered(ev pubsub.Event) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	rec, ok := tr.events[ev.ID]
+	if !ok {
+		tr.late++
+		return
+	}
+	rec.got++
+	tr.latency.Add(time.Since(rec.at).Seconds())
+}
+
+func run() int {
+	var (
+		nodes    = flag.Int("nodes", 50, "number of in-process UDP nodes (full loopback mesh)")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		warmup   = flag.Duration("warmup", time.Second, "discovery warm-up before measurement")
+		subs     = flag.Float64("subscribers", 1.0, "fraction subscribed to the event topic")
+		wkld     = flag.String("workload", "poisson", "traffic generator: poisson | flash-crowd")
+		rate     = flag.Float64("rate", 20, "publication rate in events/s (flash-crowd: base rate)")
+		peak     = flag.Float64("peak", 100, "flash-crowd peak rate in events/s")
+		spread   = flag.Int("spread", 0, "publish across N sibling subtopics (0/1 = the event topic itself)")
+		zipf     = flag.Float64("zipf", 0, "Zipf(s) topic popularity skew (0 = uniform; needs -spread > 1)")
+		validity = flag.Duration("validity", 60*time.Second, "event validity period")
+		seed     = flag.Int64("seed", 1, "workload + sim seed")
+		hb       = flag.Duration("hb", 200*time.Millisecond, "heartbeat period (lower = more datagrams/s)")
+		sendQ    = flag.Int("send-queue", 0, "transport send ring bound (0 = default)")
+		recvQ    = flag.Int("recv-queue", 0, "transport dispatch ring bound (0 = default)")
+		flush    = flag.Duration("flush", 0, "transport flush interval (0 = immediate)")
+		check    = flag.Bool("check", false,
+			"assert the soak: nonzero deliveries, zero decode errors, delivery ratio within -band of the sim prediction (exit 1 on failure)")
+		band   = flag.Float64("band", 0.35, "allowed |real - sim| delivery-ratio gap under -check")
+		minDPS = flag.Float64("min-dps", 0, "under -check, minimum sustained datagrams/s (0 = don't assert)")
+		list   = flag.Bool("list", false, "list registered traffic generators and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, d := range workload.Workloads() {
+			if d.Class == workload.ClassTraffic {
+				fmt.Printf("%-14s %s\n", d.Name, d.Description)
+			}
+		}
+		return 0
+	}
+	if *nodes < 2 {
+		fmt.Fprintln(os.Stderr, "loadgen: need at least 2 nodes")
+		return 2
+	}
+
+	var params workload.Params
+	switch *wkld {
+	case "poisson":
+		params = workload.PoissonParams{
+			Rate:     *rate,
+			Validity: *validity,
+			Topics:   workload.TopicModel{Spread: *spread, ZipfS: *zipf},
+		}
+	case "flash-crowd":
+		params = workload.FlashCrowdParams{
+			BaseRate: *rate,
+			PeakRate: *peak,
+			Validity: *validity,
+			Topics:   workload.TopicModel{Spread: *spread, ZipfS: *zipf},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unsupported workload %q (poisson | flash-crowd)\n", *wkld)
+		return 2
+	}
+	if err := workload.CheckParams(*wkld, params); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	eventTopic := topic.MustParse(".soak.events")
+	decoyTopic := topic.MustParse(".soak.decoy")
+	numSubs := int(float64(*nodes)*(*subs) + 0.5)
+	if numSubs < 1 {
+		numSubs = 1
+	}
+
+	tr := &tracker{events: make(map[event.ID]*evRec)}
+	tun := pubsub.UDPTuning{SendQueue: *sendQ, RecvQueue: *recvQ, FlushInterval: *flush}
+
+	// Build the mesh: every node binds an ephemeral loopback socket; the
+	// roster is exchanged once all addresses are known. Node i's own
+	// address in the roster is filtered by the transport.
+	mesh := make([]*pubsub.Node, *nodes)
+	for i := range mesh {
+		id := pubsub.NodeID(i)
+		cfg := pubsub.Config{
+			ID:           id,
+			HBDelay:      *hb,
+			HBLowerBound: *hb,
+			HBUpperBound: *hb,
+			OnDeliver: func(ev pubsub.Event) {
+				if ev.Publisher == id {
+					return // local self-delivery, excluded like the sim's
+				}
+				tr.delivered(ev)
+			},
+		}
+		n, err := pubsub.NewUDPNodeTuned(cfg, "127.0.0.1:0", nil, tun)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: node %d: %v\n", i, err)
+			return 2
+		}
+		defer n.Close()
+		mesh[i] = n
+	}
+	for _, a := range mesh {
+		for _, b := range mesh {
+			if err := a.AddPeer(b.LocalAddr()); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 2
+			}
+		}
+	}
+	for i, n := range mesh {
+		tp := decoyTopic
+		if i < numSubs {
+			tp = eventTopic
+		}
+		if err := n.Subscribe(tp); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 2
+		}
+	}
+
+	// The same generator stream the simulator would run.
+	rng := rand.New(rand.NewSource(*seed))
+	gen, err := workload.Build(*wkld, params, workload.Env{
+		Nodes:      *nodes,
+		Rand:       rng,
+		Warmup:     *warmup,
+		Measure:    *duration,
+		EventTopic: eventTopic,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("loadgen: %d nodes (%d subscribers), %s + %s %s workload, hb %s\n",
+		*nodes, numSubs, *warmup, *duration, *wkld, *hb)
+
+	start := time.Now()
+	end := start.Add(*warmup + *duration)
+	// Throughput and message counters cover the measurement window only:
+	// baselines are snapshotted once warm-up ends.
+	time.Sleep(time.Until(start.Add(*warmup)))
+	var baseProto pubsub.Stats
+	var baseWire pubsub.TransportStats
+	for _, n := range mesh {
+		baseProto = addStats(baseProto, n.Stats())
+		baseWire = addWire(baseWire, n.TransportStats())
+	}
+	measureStart := time.Now()
+
+	published := 0
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != workload.Publish {
+			continue // traffic generators only; churn is sim-only here
+		}
+		time.Sleep(time.Until(start.Add(op.At)))
+		idx := op.Node
+		if idx < 0 {
+			idx = rng.Intn(numSubs) // anonymous publish: a random subscriber
+		}
+		tp := op.Topic
+		if tp.IsZero() {
+			tp = eventTopic
+		}
+		eligible := numSubs
+		if idx < numSubs {
+			eligible-- // the publisher doesn't count toward its own event
+		}
+		id, err := mesh[idx].Publish(tp, []byte("soak payload"), op.Validity)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: publish: %v\n", err)
+			return 2
+		}
+		tr.published(id, eligible)
+		published++
+	}
+	time.Sleep(time.Until(end))
+	// Drain grace: events published near the end are still spreading.
+	// Wait until the delivery count stops moving (or a hard cap), so the
+	// ratio measures the protocol rather than the harness's patience —
+	// race-instrumented or loaded runs legitimately take longer.
+	lastGot := -1
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		tr.mu.Lock()
+		got := 0
+		for _, rec := range tr.events {
+			got += rec.got
+		}
+		tr.mu.Unlock()
+		if got == lastGot {
+			break
+		}
+		lastGot = got
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	var proto pubsub.Stats
+	var wire pubsub.TransportStats
+	for _, n := range mesh {
+		proto = addStats(proto, n.Stats())
+		wire = addWire(wire, n.TransportStats())
+	}
+	proto = subStats(proto, baseProto)
+	wire = subWire(wire, baseWire)
+	elapsed := time.Since(measureStart).Seconds()
+
+	tr.mu.Lock()
+	var gotSum, eligSum int
+	for _, rec := range tr.events {
+		gotSum += rec.got
+		eligSum += rec.eligible
+	}
+	realRatio := 0.0
+	if eligSum > 0 {
+		realRatio = float64(gotSum) / float64(eligSum)
+	}
+	lat := tr.latency
+	tr.mu.Unlock()
+
+	protoMsgs := proto.HeartbeatsSent + proto.IDListsSent + proto.EventMsgsSent
+	msgsPerDelivery := math.Inf(1)
+	if gotSum > 0 {
+		msgsPerDelivery = float64(protoMsgs) / float64(gotSum)
+	}
+	dps := float64(wire.DatagramsSent) / elapsed
+
+	fmt.Printf("real:  published %d  delivered %d/%d (ratio %.3f)\n", published, gotSum, eligSum, realRatio)
+	fmt.Printf("real:  proto msgs %d (%.1f per delivery)  datagrams %.0f/s  batches %d\n",
+		protoMsgs, msgsPerDelivery, dps, wire.Batches)
+	fmt.Printf("real:  latency ms p50 %.1f  p90 %.1f  p99 %.1f  (n=%d)\n",
+		lat.Quantile(0.50)*1e3, lat.Quantile(0.90)*1e3, lat.Quantile(0.99)*1e3, lat.N())
+	fmt.Printf("real:  drops send %d recv %d  decode errs %d  send errs %d\n",
+		wire.Dropped, wire.RecvDropped, wire.DecodeErrors, wire.SendErrors)
+
+	// The matching simulation: same roster, same workload stream shape,
+	// same heartbeat tuning, full radio connectivity standing in for the
+	// loopback mesh.
+	simRes, err := netsim.Run(netsim.Scenario{
+		Name:  "loadgen-mirror",
+		Nodes: *nodes,
+		Seed:  *seed,
+		Protocol: netsim.FrugalSpec(netsim.CoreTuning{
+			HBDelay: *hb, HBLowerBound: *hb, HBUpperBound: *hb,
+		}),
+		Mobility:           netsim.MobilitySpec{Kind: netsim.StaticNodes, Area: geo.NewRect(200, 200)},
+		MAC:                mac.DefaultConfig(339), // diag(200,200) < 339 m: everyone hears everyone
+		EventTopic:         eventTopic,
+		DecoyTopic:         decoyTopic,
+		SubscriberFraction: *subs,
+		Workload:           netsim.WorkloadSpec{Name: *wkld, Params: params},
+		Warmup:             *warmup,
+		Measure:            *duration,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: sim mirror: %v\n", err)
+		return 2
+	}
+	simRatio := simRes.Reliability()
+	fmt.Printf("sim:   delivery ratio %.3f  events/process %.1f  latency ms p50 %.1f p99 %.1f\n",
+		simRatio, simRes.EventsSentPerProcess(),
+		simRes.Latency.Quantile(0.50)*1e3, simRes.Latency.Quantile(0.99)*1e3)
+	fmt.Printf("diff:  |real - sim| delivery ratio = %.3f\n", math.Abs(realRatio-simRatio))
+
+	if *check {
+		fail := func(format string, args ...any) int {
+			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: "+format+"\n", args...)
+			return 1
+		}
+		if published == 0 || gotSum == 0 {
+			return fail("no deliveries (published %d, delivered %d)", published, gotSum)
+		}
+		if wire.DecodeErrors != 0 {
+			return fail("%d decode errors on the wire", wire.DecodeErrors)
+		}
+		if gap := math.Abs(realRatio - simRatio); gap > *band {
+			return fail("delivery ratio %.3f vs sim %.3f: gap %.3f > band %.3f", realRatio, simRatio, gap, *band)
+		}
+		if *minDPS > 0 && dps < *minDPS {
+			return fail("throughput %.0f datagrams/s < required %.0f", dps, *minDPS)
+		}
+		fmt.Println("loadgen: CHECK OK")
+	}
+	return 0
+}
+
+func addStats(a, b pubsub.Stats) pubsub.Stats {
+	a.HeartbeatsSent += b.HeartbeatsSent
+	a.IDListsSent += b.IDListsSent
+	a.EventMsgsSent += b.EventMsgsSent
+	a.EventsSent += b.EventsSent
+	a.EventsReceived += b.EventsReceived
+	a.Delivered += b.Delivered
+	a.Duplicates += b.Duplicates
+	a.Parasites += b.Parasites
+	a.Published += b.Published
+	return a
+}
+
+func subStats(a, b pubsub.Stats) pubsub.Stats {
+	a.HeartbeatsSent -= b.HeartbeatsSent
+	a.IDListsSent -= b.IDListsSent
+	a.EventMsgsSent -= b.EventMsgsSent
+	a.EventsSent -= b.EventsSent
+	a.EventsReceived -= b.EventsReceived
+	a.Delivered -= b.Delivered
+	a.Duplicates -= b.Duplicates
+	a.Parasites -= b.Parasites
+	a.Published -= b.Published
+	return a
+}
+
+func addWire(a, b pubsub.TransportStats) pubsub.TransportStats {
+	a.DatagramsSent += b.DatagramsSent
+	a.DatagramsReceived += b.DatagramsReceived
+	a.DecodeErrors += b.DecodeErrors
+	a.SendErrors += b.SendErrors
+	a.Dropped += b.Dropped
+	a.RecvDropped += b.RecvDropped
+	a.Batches += b.Batches
+	return a
+}
+
+func subWire(a, b pubsub.TransportStats) pubsub.TransportStats {
+	a.DatagramsSent -= b.DatagramsSent
+	a.DatagramsReceived -= b.DatagramsReceived
+	a.DecodeErrors -= b.DecodeErrors
+	a.SendErrors -= b.SendErrors
+	a.Dropped -= b.Dropped
+	a.RecvDropped -= b.RecvDropped
+	a.Batches -= b.Batches
+	return a
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLoadgen compiles the command once into a temp dir; the check and
+// usage paths end in os.Exit, so they are pinned end-to-end through the
+// real binary rather than in-process.
+func buildLoadgen(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "loadgen")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmallSoakCheckPasses runs a miniature soak end to end in -check
+// mode: real sockets, real workload stream, the sim mirror, and the
+// assertions — the same shape the CI smoke runs at 50 nodes.
+func TestSmallSoakCheckPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a few wall-clock seconds")
+	}
+	bin := buildLoadgen(t)
+	cmd := exec.Command(bin,
+		"-nodes", "8", "-duration", "2s", "-warmup", "500ms",
+		"-rate", "10", "-hb", "200ms", "-check", "-band", "0.5")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("soak check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"real:", "sim:", "CHECK OK"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestListPrintsTrafficCatalog pins -list to the registered traffic
+// generators the -workload flag accepts.
+func TestListPrintsTrafficCatalog(t *testing.T) {
+	bin := buildLoadgen(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"poisson", "flash-crowd"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-list lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBadWorkloadExits2 pins structural misuse to usage exit 2.
+func TestBadWorkloadExits2(t *testing.T) {
+	bin := buildLoadgen(t)
+	err := exec.Command(bin, "-workload", "no-such-generator").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("err = %v, want non-zero exit", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("bad workload exited %d, want 2", code)
+	}
+}

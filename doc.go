@@ -22,9 +22,14 @@
 //     behind the protocol, scenario and workload registries
 //   - internal/netsim, metrics, exp — scenario runner, scenario
 //     registry and experiments
-//   - cmd/experiments, cmd/frugalsim, cmd/benchjson — command-line
-//     tools
-//   - examples/ — quickstart, carpark, campus, inprocess
+//   - pubsub, internal/transport — the real-network face of the same
+//     core protocol: a goroutine-safe Node over batched, bounded-queue
+//     UDP peer-group broadcast (ARCHITECTURE.md "Real-path contracts")
+//   - cmd/experiments, cmd/frugalsim, cmd/benchjson, cmd/loadgen —
+//     command-line tools (loadgen soak-tests N real UDP nodes under
+//     the registered workload generators and prints the measured
+//     delivery ratio/latency next to the netsim prediction)
+//   - examples/ — quickstart, carpark, campus, inprocess, udpmesh
 //
 // ARCHITECTURE.md maps the paper's sections onto these packages and
 // sketches the dataflow of one simulation.

@@ -36,4 +36,18 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(edir, "seed-00"), []byte(eseed), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	pdir := filepath.Join("testdata", "fuzz", "FuzzAppendMarshalParity")
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writePair := func(name string, data, prefix []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n[]byte(" + strconv.Quote(string(prefix)) + ")\n"
+		if err := os.WriteFile(filepath.Join(pdir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range fuzzSeedMessages() {
+		writePair(fmt.Sprintf("seed-%02d", i), Marshal(m), []byte{byte(i)})
+	}
+	writePair("seed-prefixed", Marshal(fuzzSeedMessages()[5]), []byte("ring slot residue"))
 }

@@ -22,8 +22,17 @@ var ErrTruncated = errors.New("event: truncated message")
 var ErrUnknownKind = errors.New("event: unknown message kind")
 
 // Marshal encodes m into a fresh buffer.
-func Marshal(m Message) []byte {
-	var b []byte
+func Marshal(m Message) []byte { return AppendMarshal(nil, m) }
+
+// AppendMarshal encodes m appended to dst and returns the extended
+// buffer, exactly as append(dst, Marshal(m)...) would — byte for byte
+// (pinned by FuzzAppendMarshalParity) — but without the intermediate
+// allocation. It is the real-transport fast path: callers that reuse
+// dst across messages (transport.UDP's send ring) marshal with zero
+// steady-state allocations once the buffer has grown to its working
+// size.
+func AppendMarshal(dst []byte, m Message) []byte {
+	b := dst
 	switch v := m.(type) {
 	case Heartbeat:
 		b = append(b, byte(KindHeartbeat))
@@ -50,7 +59,7 @@ func Marshal(m Message) []byte {
 		}
 		b = binary.AppendUvarint(b, uint64(len(v.Events)))
 		for _, ev := range v.Events {
-			b = appendEvent(b, ev)
+			b = AppendEvent(b, ev)
 		}
 	default:
 		panic(fmt.Sprintf("event: cannot marshal %T", m))
@@ -63,7 +72,10 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-func appendEvent(b []byte, ev Event) []byte {
+// AppendEvent encodes one event in the Events-message element layout,
+// appended to b. It is the append-style building block under
+// AppendMarshal, exported for callers that frame events themselves.
+func AppendEvent(b []byte, ev Event) []byte {
 	b = binary.BigEndian.AppendUint64(b, ev.ID.Hi)
 	b = binary.BigEndian.AppendUint64(b, ev.ID.Lo)
 	b = appendString(b, ev.Topic.String())

@@ -129,6 +129,69 @@ func TestMarshalUnsupportedPanics(t *testing.T) {
 	Marshal(fake{}) // not one of the three concrete types
 }
 
+// TestAppendMarshalParity pins the pooled encoder against the legacy
+// one: for every seed message, AppendMarshal(dst, m) must extend dst by
+// exactly Marshal(m), preserve dst's existing bytes, and reuse dst's
+// capacity when it suffices.
+func TestAppendMarshalParity(t *testing.T) {
+	for i, m := range fuzzSeedMessages() {
+		legacy := Marshal(m)
+		// Fresh buffer.
+		if got := AppendMarshal(nil, m); !reflect.DeepEqual(got, legacy) {
+			t.Fatalf("seed %d: AppendMarshal(nil) = %x, want %x", i, got, legacy)
+		}
+		// Non-empty prefix survives and the suffix matches.
+		prefix := []byte{0xDE, 0xAD, byte(i)}
+		got := AppendMarshal(append([]byte(nil), prefix...), m)
+		if !reflect.DeepEqual(got[:len(prefix)], prefix) {
+			t.Fatalf("seed %d: prefix clobbered: %x", i, got[:len(prefix)])
+		}
+		if !reflect.DeepEqual(got[len(prefix):], legacy) {
+			t.Fatalf("seed %d: suffix = %x, want %x", i, got[len(prefix):], legacy)
+		}
+		// A warm buffer with enough capacity is reused, not reallocated.
+		warm := make([]byte, 0, 2*len(legacy)+16)
+		out := AppendMarshal(warm, m)
+		if &out[0] != &warm[:1][0] {
+			t.Fatalf("seed %d: AppendMarshal reallocated despite sufficient capacity", i)
+		}
+	}
+}
+
+// TestAppendMarshalZeroAlloc pins the pooled-codec contract directly:
+// marshaling into a buffer that has reached its working size performs
+// zero allocations.
+func TestAppendMarshalZeroAlloc(t *testing.T) {
+	msgs := fuzzSeedMessages()
+	buf := make([]byte, 0, 16*1024)
+	if n := testing.AllocsPerRun(100, func() {
+		for _, m := range msgs {
+			buf = AppendMarshal(buf[:0], m)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendMarshal into a warm buffer allocated %.1f times/op, want 0", n)
+	}
+}
+
+// TestAppendEventParity pins the exported event-element encoder against
+// the slice the full Events encoding embeds.
+func TestAppendEventParity(t *testing.T) {
+	ev := Event{
+		ID:        ID{3, 4},
+		Topic:     topic.MustParse(".p.q"),
+		Publisher: 7,
+		Payload:   []byte("x"),
+		Validity:  time.Minute,
+		Remaining: time.Second,
+	}
+	whole := Marshal(Events{From: 7, Events: []Event{ev}})
+	elem := AppendEvent(nil, ev)
+	// The element is the tail of the single-event message encoding.
+	if tail := whole[len(whole)-len(elem):]; !reflect.DeepEqual(tail, elem) {
+		t.Fatalf("AppendEvent = %x, want message tail %x", elem, tail)
+	}
+}
+
 // Property: random messages round-trip exactly.
 func TestRoundTripProperty(t *testing.T) {
 	topics := []topic.Topic{

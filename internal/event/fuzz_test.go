@@ -78,6 +78,42 @@ func FuzzMessageRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzAppendMarshalParity differential-tests the pooled append-style
+// encoder against the legacy allocating one: for any decodable input,
+// AppendMarshal must produce wire bytes identical to Marshal — from a
+// nil buffer, appended after an arbitrary prefix, and into a reused
+// buffer — so the transport's pooled fast path can never diverge from
+// the canonical encoding.
+func FuzzAppendMarshalParity(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		f.Add(Marshal(m), []byte(nil))
+	}
+	f.Add(Marshal(fuzzSeedMessages()[1]), []byte{0x00})
+	f.Add(Marshal(fuzzSeedMessages()[5]), bytes.Repeat([]byte{0x5A}, 64))
+	f.Fuzz(func(t *testing.T, data, prefix []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return // not a message: nothing to encode
+		}
+		legacy := Marshal(m)
+		if got := AppendMarshal(nil, m); !bytes.Equal(got, legacy) {
+			t.Fatalf("AppendMarshal(nil) diverged:\n pooled %x\n legacy %x", got, legacy)
+		}
+		got := AppendMarshal(append([]byte(nil), prefix...), m)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("AppendMarshal clobbered its prefix: %x", got[:len(prefix)])
+		}
+		if !bytes.Equal(got[len(prefix):], legacy) {
+			t.Fatalf("AppendMarshal after prefix diverged:\n pooled %x\n legacy %x", got[len(prefix):], legacy)
+		}
+		// Reuse: a second marshal into the same truncated buffer must be
+		// byte-identical too (the send ring's steady state).
+		if again := AppendMarshal(got[:0], m); !bytes.Equal(again, legacy) {
+			t.Fatalf("AppendMarshal into a reused buffer diverged:\n pooled %x\n legacy %x", again, legacy)
+		}
+	})
+}
+
 // FuzzEventRoundTrip drives the nested event codec directly with
 // arbitrary field values, including hostile payload sizes.
 func FuzzEventRoundTrip(f *testing.F) {

@@ -6,14 +6,28 @@
 // wall-clock core.Scheduler, the protocol runs unchanged on real
 // sockets (see TestUDPEndToEnd and examples/inprocess for the in-memory
 // analogue).
+//
+// The fast path is asynchronous on both sides (the "real-path
+// contracts", see ARCHITECTURE.md): Broadcast marshals into a pooled
+// ring slot and returns — a writer goroutine coalesces queued messages
+// into per-flush batches and fans each one out to the peer group, so a
+// slow peer or a saturated socket can never stall the protocol layer.
+// Incoming datagrams are likewise copied into a bounded dispatch ring
+// and decoded/handled off the socket goroutine, so a slow handler can
+// never stall socket reads. Both rings drop the OLDEST entry on
+// overflow (new information beats stale information in a soft-state
+// protocol) and count drops in Stats; steady-state Broadcast performs
+// zero heap allocations.
 package transport
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/event"
 )
@@ -21,6 +35,15 @@ import (
 // maxDatagram bounds incoming datagrams; protocol messages are far
 // smaller (a full 20-event push is ~9 kB).
 const maxDatagram = 64 * 1024
+
+// DefaultSendQueue is the send-ring capacity when UDPConfig.SendQueue
+// is zero: queued outbound messages beyond it drop the oldest.
+const DefaultSendQueue = 512
+
+// DefaultRecvQueue is the dispatch-ring capacity when
+// UDPConfig.RecvQueue is zero: queued inbound datagrams beyond it drop
+// the oldest.
+const DefaultRecvQueue = 512
 
 // UDPConfig configures a UDP transport.
 type UDPConfig struct {
@@ -30,8 +53,9 @@ type UDPConfig struct {
 	// filtered out automatically.
 	Peers []string
 	// Handler receives every decoded incoming message. It is called
-	// from the transport's read goroutine, so pass core.Safe's
-	// HandleMessage (or synchronize yourself). Required.
+	// from the transport's single dispatch goroutine (serially), so
+	// pass core.Safe's HandleMessage (or synchronize yourself).
+	// Required.
 	//
 	// The handler is never invoked before Start is called: NewUDP only
 	// binds the socket, so the caller can finish wiring the state the
@@ -42,6 +66,24 @@ type UDPConfig struct {
 	// OnError, when non-nil, receives decode and I/O errors. Transient
 	// errors never stop the read loop.
 	OnError func(error)
+	// SendQueue bounds the outbound message ring (DefaultSendQueue
+	// when 0). When a Broadcast finds the ring full, the OLDEST queued
+	// message is dropped and Stats.Dropped incremented; Broadcast never
+	// blocks on the network.
+	SendQueue int
+	// RecvQueue bounds the inbound datagram ring between the socket
+	// read loop and the dispatch goroutine (DefaultRecvQueue when 0).
+	// Overflow drops the oldest queued datagram and increments
+	// Stats.RecvDropped; decode and handler work never stall socket
+	// reads.
+	RecvQueue int
+	// FlushInterval is the batching delay of the writer goroutine: on
+	// waking for queued messages it waits this long so nearby
+	// broadcasts coalesce into one per-flush batch (one buffer slab,
+	// N packets per syscall loop). 0 flushes as soon as the writer
+	// wakes — still batching whatever accumulated while the previous
+	// batch was on the wire.
+	FlushInterval time.Duration
 }
 
 // Stats are cumulative transport counters, safe to read concurrently.
@@ -50,18 +92,85 @@ type Stats struct {
 	DatagramsReceived uint64
 	DecodeErrors      uint64
 	SendErrors        uint64
+	// Dropped counts outbound messages evicted by send-ring overflow
+	// (drop-oldest; the protocol tolerates loss by design).
+	Dropped uint64
+	// RecvDropped counts inbound datagrams evicted by dispatch-ring
+	// overflow before they reached the handler.
+	RecvDropped uint64
+	// Batches counts writer flush passes; DatagramsSent/Batches is the
+	// observed coalescing factor.
+	Batches uint64
+}
+
+// ring is a bounded FIFO of reusable byte buffers with drop-oldest
+// overflow. Slot buffers are pooled: they are swapped, never freed, so
+// a warm ring performs zero allocations per push/pop.
+type ring struct {
+	mu    sync.Mutex
+	slots [][]byte
+	tail  int // oldest entry
+	count int
+}
+
+// push returns the slot buffer to marshal into (reset to length 0) and
+// whether the oldest entry was evicted to make room. Callers must hold
+// mu, fill the returned buffer, and store it back via the returned
+// index before unlocking.
+func (r *ring) push() (slot *[]byte, dropped bool) {
+	if r.count == len(r.slots) {
+		// Full: the write lands on the current tail slot, evicting the
+		// oldest queued entry.
+		i := r.tail
+		r.tail = (r.tail + 1) % len(r.slots)
+		return &r.slots[i], true
+	}
+	i := (r.tail + r.count) % len(r.slots)
+	r.count++
+	return &r.slots[i], false
+}
+
+// pop swaps the oldest entry out for spare and returns it; ok is false
+// when the ring is empty (spare is then still the caller's). The caller
+// reclaims the returned buffer as its next spare once done with it.
+// Callers must hold mu.
+func (r *ring) pop(spare []byte) (data []byte, ok bool) {
+	if r.count == 0 {
+		return nil, false
+	}
+	i := r.tail
+	data, r.slots[i] = r.slots[i], spare
+	r.tail = (r.tail + 1) % len(r.slots)
+	r.count--
+	return data, true
+}
+
+// peerAddr caches both address forms of one peer: the resolved
+// *net.UDPAddr for the generic net.PacketConn path and the value-type
+// netip.AddrPort for the allocation-free *net.UDPConn fast path.
+type peerAddr struct {
+	ua *net.UDPAddr
+	ap netip.AddrPort
 }
 
 // UDP is a peer-group broadcast transport. It implements core.Transport.
 type UDP struct {
 	conn    net.PacketConn
+	uconn   *net.UDPConn // conn when it is a real UDP socket; enables WriteToUDPAddrPort
 	handler func(event.Message)
 	onError func(error)
+	flush   time.Duration
 
 	mu    sync.RWMutex
-	peers []*net.UDPAddr
+	peers []peerAddr
+
+	send         ring
+	recv         ring
+	sendKick     chan struct{}
+	dispatchKick chan struct{}
 
 	sent, received, decodeErrs, sendErrs atomic.Uint64
+	dropped, recvDropped, batches        atomic.Uint64
 
 	startOnce sync.Once
 	closeOnce sync.Once
@@ -74,20 +183,49 @@ type UDP struct {
 // wired. Splitting construction from startup is what makes the handler
 // contract race-free — with a constructor-started loop, a datagram could
 // reach the handler before the caller had assigned the protocol instance
-// the handler closes over.
+// the handler closes over. The writer goroutine DOES start here:
+// broadcasts work without Start, exactly as before.
 func NewUDP(cfg UDPConfig) (*UDP, error) {
+	return newUDP(cfg, true)
+}
+
+// newUDP is NewUDP with the writer goroutine optional, so ring
+// semantics (overflow, drop-oldest, statistics) are testable without
+// racing the drain.
+func newUDP(cfg UDPConfig, startWriter bool) (*UDP, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("transport: nil Handler")
+	}
+	if cfg.SendQueue < 0 || cfg.RecvQueue < 0 {
+		return nil, fmt.Errorf("transport: negative queue bound (send %d, recv %d)", cfg.SendQueue, cfg.RecvQueue)
+	}
+	if cfg.FlushInterval < 0 {
+		return nil, fmt.Errorf("transport: negative FlushInterval %v", cfg.FlushInterval)
+	}
+	sendQ := cfg.SendQueue
+	if sendQ == 0 {
+		sendQ = DefaultSendQueue
+	}
+	recvQ := cfg.RecvQueue
+	if recvQ == 0 {
+		recvQ = DefaultRecvQueue
 	}
 	conn, err := net.ListenPacket("udp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
+	uconn, _ := conn.(*net.UDPConn)
 	u := &UDP{
-		conn:    conn,
-		handler: cfg.Handler,
-		onError: cfg.OnError,
-		done:    make(chan struct{}),
+		conn:         conn,
+		uconn:        uconn,
+		handler:      cfg.Handler,
+		onError:      cfg.OnError,
+		flush:        cfg.FlushInterval,
+		send:         ring{slots: make([][]byte, sendQ)},
+		recv:         ring{slots: make([][]byte, recvQ)},
+		sendKick:     make(chan struct{}, 1),
+		dispatchKick: make(chan struct{}, 1),
+		done:         make(chan struct{}),
 	}
 	for _, p := range cfg.Peers {
 		if err := u.AddPeer(p); err != nil {
@@ -95,18 +233,28 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 			return nil, err
 		}
 	}
+	if startWriter {
+		u.startWriter()
+	}
 	return u, nil
 }
 
-// Start launches the read loop; incoming datagrams are decoded and
-// handed to the configured Handler from here on. It is idempotent,
-// safe to race with Close, and must be called before any message can
-// be received; broadcasts work without it.
+// startWriter launches the send-ring drain goroutine. Registered on the
+// WaitGroup before launch so Close's wg.Wait always covers it.
+func (u *UDP) startWriter() {
+	u.wg.Add(1)
+	go u.writeLoop()
+}
+
+// Start launches the read and dispatch loops; incoming datagrams are
+// decoded and handed to the configured Handler from here on. It is
+// idempotent, safe to race with Close, and must be called before any
+// message can be received; broadcasts work without it.
 func (u *UDP) Start() {
 	u.startOnce.Do(func() {
 		// The mutex orders this against Close: after close(done) no
 		// loop may start (Close's wg.Wait must not race an Add), and if
-		// the loop starts first, Close's conn.Close/done will stop it.
+		// the loops start first, Close's conn.Close/done will stop them.
 		u.mu.Lock()
 		defer u.mu.Unlock()
 		select {
@@ -114,8 +262,9 @@ func (u *UDP) Start() {
 			return // already closed: nothing to start
 		default:
 		}
-		u.wg.Add(1)
+		u.wg.Add(2)
 		go u.readLoop()
+		go u.dispatchLoop()
 	})
 }
 
@@ -135,30 +284,116 @@ func (u *UDP) AddPeer(addr string) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	for _, p := range u.peers {
-		if p.String() == ua.String() {
+		if p.ua.String() == ua.String() {
 			return nil
 		}
 	}
-	u.peers = append(u.peers, ua)
+	// Unmap 4-in-6 addresses: ResolveUDPAddr hands back 16-byte IPv4
+	// slices, and the mapped ::ffff:a.b.c.d form is rejected by IPv4
+	// sockets on the WriteToUDPAddrPort fast path.
+	ap := netip.AddrPortFrom(ua.AddrPort().Addr().Unmap(), uint16(ua.Port))
+	u.peers = append(u.peers, peerAddr{ua: ua, ap: ap})
 	return nil
 }
 
-// Broadcast implements core.Transport: marshal once, send to every peer.
-// Datagram loss is expected and tolerated by the protocol, so send
-// errors are counted, reported to OnError, and otherwise ignored.
+// Broadcast implements core.Transport: marshal into a pooled ring slot
+// and return. The writer goroutine fans the message out to every peer
+// in its next flush batch; a full ring drops the oldest queued message
+// (counted in Stats.Dropped) rather than blocking the protocol layer.
+// Steady-state cost is zero heap allocations: the slot buffer is
+// reused and AppendMarshal writes in place.
 func (u *UDP) Broadcast(m event.Message) {
-	wire := event.Marshal(m)
+	u.send.mu.Lock()
+	slot, droppedOldest := u.send.push()
+	*slot = event.AppendMarshal((*slot)[:0], m)
+	u.send.mu.Unlock()
+	if droppedOldest {
+		u.dropped.Add(1)
+	}
+	select {
+	case u.sendKick <- struct{}{}:
+	default: // writer already signaled
+	}
+}
+
+// writeLoop drains the send ring: wake on a kick, optionally linger
+// FlushInterval so nearby broadcasts coalesce, then swap the queued
+// slot buffers into a local slab and fan each message out to the peer
+// group — the sendmmsg shape, N packets per flush with one WriteTo per
+// packet.
+func (u *UDP) writeLoop() {
+	defer u.wg.Done()
+	batch := make([][]byte, len(u.send.slots))
+	flushTimer := time.NewTimer(time.Hour)
+	if !flushTimer.Stop() {
+		<-flushTimer.C
+	}
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-u.sendKick:
+		}
+		if u.flush > 0 {
+			flushTimer.Reset(u.flush)
+			select {
+			case <-u.done:
+				flushTimer.Stop()
+				return
+			case <-flushTimer.C:
+			}
+		}
+		for {
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+			// Swap filled slots out, spare buffers in: Broadcast keeps
+			// marshaling into the ring while this batch is on the wire.
+			u.send.mu.Lock()
+			n := 0
+			for u.send.count > 0 {
+				i := u.send.tail
+				batch[n], u.send.slots[i] = u.send.slots[i], batch[n]
+				u.send.tail = (u.send.tail + 1) % len(u.send.slots)
+				u.send.count--
+				n++
+			}
+			u.send.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			u.sendBatch(batch[:n])
+		}
+	}
+}
+
+// sendBatch fans one coalesced slab of messages out to the peer group.
+func (u *UDP) sendBatch(batch [][]byte) {
 	u.mu.RLock()
 	peers := u.peers
 	u.mu.RUnlock()
-	for _, p := range peers {
-		if _, err := u.conn.WriteTo(wire, p); err != nil {
-			u.sendErrs.Add(1)
-			u.reportError(fmt.Errorf("transport: send to %s: %w", p, err))
-			continue
+	for _, wire := range batch {
+		for i := range peers {
+			var err error
+			if u.uconn != nil {
+				_, err = u.uconn.WriteToUDPAddrPort(wire, peers[i].ap)
+			} else {
+				_, err = u.conn.WriteTo(wire, peers[i].ua)
+			}
+			if err != nil {
+				if errors.Is(err, net.ErrClosed) {
+					return // shutdown mid-batch: Close owns the socket now
+				}
+				u.sendErrs.Add(1)
+				u.reportError(fmt.Errorf("transport: send to %s: %w", peers[i].ua, err))
+				continue
+			}
+			u.sent.Add(1)
 		}
-		u.sent.Add(1)
 	}
+	u.batches.Add(1)
 }
 
 // Stats returns a snapshot of the counters.
@@ -168,23 +403,33 @@ func (u *UDP) Stats() Stats {
 		DatagramsReceived: u.received.Load(),
 		DecodeErrors:      u.decodeErrs.Load(),
 		SendErrors:        u.sendErrs.Load(),
+		Dropped:           u.dropped.Load(),
+		RecvDropped:       u.recvDropped.Load(),
+		Batches:           u.batches.Load(),
 	}
 }
 
-// Close stops the read loop (if started) and releases the socket. It
-// is idempotent and safe to race with Start.
+// Close stops the writer and (if started) the read/dispatch loops, and
+// releases the socket. Messages still queued in the send ring are
+// dropped — UDP broadcast is best-effort and the protocol tolerates
+// loss. It is idempotent and safe to race with Start and with in-flight
+// Broadcasts/flushes.
 func (u *UDP) Close() error {
 	var err error
 	u.closeOnce.Do(func() {
 		u.mu.Lock()
 		close(u.done)
 		u.mu.Unlock()
-		err = u.conn.Close()
+		err = u.conn.Close() // also unblocks a writer stuck in WriteTo
 		u.wg.Wait()
 	})
 	return err
 }
 
+// readLoop moves raw datagrams from the socket into the dispatch ring.
+// It does no decoding and never calls the handler: its only job is to
+// keep the kernel buffer drained so bursts are absorbed by our bounded
+// ring (with accounted drops) instead of silent kernel tail drops.
 func (u *UDP) readLoop() {
 	defer u.wg.Done()
 	buf := make([]byte, maxDatagram)
@@ -199,14 +444,56 @@ func (u *UDP) readLoop() {
 			u.reportError(fmt.Errorf("transport: read: %w", err))
 			continue
 		}
-		msg, err := event.Unmarshal(buf[:n])
-		if err != nil {
-			u.decodeErrs.Add(1)
-			u.reportError(fmt.Errorf("transport: decode %d bytes: %w", n, err))
-			continue
+		u.recv.mu.Lock()
+		slot, droppedOldest := u.recv.push()
+		*slot = append((*slot)[:0], buf[:n]...)
+		u.recv.mu.Unlock()
+		if droppedOldest {
+			u.recvDropped.Add(1)
 		}
-		u.received.Add(1)
-		u.handler(msg)
+		select {
+		case u.dispatchKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// dispatchLoop decodes queued datagrams and runs the handler, one
+// message at a time off the socket goroutine. The pop swaps a spare
+// buffer into the ring, so the loop is allocation-free once slot
+// buffers are warm; Unmarshal copies what it keeps, so the buffer is
+// immediately reusable.
+func (u *UDP) dispatchLoop() {
+	defer u.wg.Done()
+	var spare []byte
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-u.dispatchKick:
+		}
+		for {
+			u.recv.mu.Lock()
+			data, ok := u.recv.pop(spare)
+			u.recv.mu.Unlock()
+			if !ok {
+				break
+			}
+			msg, err := event.Unmarshal(data)
+			spare = data // reclaim the buffer for the next pop
+			if err != nil {
+				u.decodeErrs.Add(1)
+				u.reportError(fmt.Errorf("transport: decode %d bytes: %w", len(data), err))
+				continue
+			}
+			u.received.Add(1)
+			u.handler(msg)
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+		}
 	}
 }
 

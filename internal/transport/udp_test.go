@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -78,9 +79,9 @@ func TestUDPBasicExchange(t *testing.T) {
 	if !ok || hb.From != 1 || hb.Speed != 3 {
 		t.Fatalf("got %+v", cb.msgs[0])
 	}
-	if s := a.Stats(); s.DatagramsSent != 1 {
-		t.Fatalf("sender stats = %+v", s)
-	}
+	// Sends are asynchronous: the writer's counter update may trail the
+	// receiver's delivery by an instant.
+	waitFor(t, func() bool { return a.Stats().DatagramsSent == 1 }, "sender counter")
 }
 
 func TestUDPSelfPeerFiltered(t *testing.T) {
@@ -169,10 +170,12 @@ func TestUDPCloseIdempotent(t *testing.T) {
 	u.Start()                             // must not leak a goroutine on a closed socket
 }
 
-// TestUDPStartCloseRace drives Start and Close concurrently: either
-// the loop never starts (Close won) or it starts and Close stops it —
-// but Close must never return with the loop still coming up, and the
-// WaitGroup Add/Wait ordering must hold under the race detector.
+// TestUDPStartCloseRace drives Start, Close, and Broadcast concurrently:
+// either the loops never start (Close won) or they start and Close stops
+// them — but Close must never return with a loop still coming up, the
+// WaitGroup Add/Wait ordering must hold under the race detector, and a
+// Broadcast in flight during Close must neither panic nor deadlock the
+// writer shutdown.
 func TestUDPStartCloseRace(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: func(event.Message) {}})
@@ -180,13 +183,20 @@ func TestUDPStartCloseRace(t *testing.T) {
 			t.Skipf("UDP unavailable: %v", err)
 		}
 		var wg sync.WaitGroup
-		wg.Add(2)
+		wg.Add(3)
 		go func() { defer wg.Done(); u.Start() }()
 		go func() { defer wg.Done(); u.Close() }()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				u.Broadcast(event.Heartbeat{From: event.NodeID(j)})
+			}
+		}()
 		wg.Wait()
 		if err := u.Close(); err != nil {
 			t.Fatal(err)
 		}
+		u.Broadcast(event.Heartbeat{From: 99}) // post-close enqueue must stay safe
 	}
 }
 
@@ -237,6 +247,233 @@ func TestUDPConfigValidation(t *testing.T) {
 		Handler: func(event.Message) {},
 	}); err == nil {
 		t.Fatal("bad peer accepted")
+	}
+	h := func(event.Message) {}
+	if _, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: h, SendQueue: -1}); err == nil {
+		t.Fatal("negative SendQueue accepted")
+	}
+	if _, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: h, RecvQueue: -1}); err == nil {
+		t.Fatal("negative RecvQueue accepted")
+	}
+	if _, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: h, FlushInterval: -time.Second}); err == nil {
+		t.Fatal("negative FlushInterval accepted")
+	}
+}
+
+// TestUDPSendRingOverflowDropsOldest pins the backpressure contract of
+// the send ring: with the writer parked, queuing past SendQueue evicts
+// the OLDEST messages, counts them in Stats.Dropped, and — once the
+// writer runs — delivers exactly the surviving newest window.
+func TestUDPSendRingOverflowDropsOldest(t *testing.T) {
+	const (
+		queue = 8
+		extra = 3
+	)
+	var c collect
+	recv, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: c.handle})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer recv.Close()
+	recv.Start()
+	// Writer deliberately not started: enqueue semantics in isolation.
+	u, err := newUDP(UDPConfig{
+		Listen:    "127.0.0.1:0",
+		Peers:     []string{recv.LocalAddr().String()},
+		Handler:   func(event.Message) {},
+		SendQueue: queue,
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 0; i < queue+extra; i++ {
+		u.Broadcast(event.IDList{From: event.NodeID(i)})
+	}
+	if got := u.Stats().Dropped; got != extra {
+		t.Fatalf("Dropped = %d, want %d", got, extra)
+	}
+	// Releasing the writer must drain exactly the newest `queue` window:
+	// messages extra..queue+extra-1.
+	u.startWriter()
+	waitFor(t, func() bool { return c.count() == queue }, "surviving window at receiver")
+	time.Sleep(50 * time.Millisecond)
+	if c.count() != queue {
+		t.Fatalf("receiver got %d messages, want %d", c.count(), queue)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[event.NodeID]bool{}
+	for _, m := range c.msgs {
+		seen[m.(event.IDList).From] = true
+	}
+	for i := extra; i < queue+extra; i++ {
+		if !seen[event.NodeID(i)] {
+			t.Fatalf("newest message %d evicted; survivors: %v", i, seen)
+		}
+	}
+}
+
+// TestUDPDispatchOverflow pins the receive-side contract: a handler
+// stuck on one message must not stall socket reads — the flood lands in
+// the dispatch ring, overflow evicts the oldest queued datagrams with
+// Stats.RecvDropped accounting, and releasing the handler delivers the
+// surviving newest window.
+func TestUDPDispatchOverflow(t *testing.T) {
+	const (
+		queue = 4
+		extra = 3
+	)
+	release := make(chan struct{})
+	var c collect
+	first := true
+	recv, err := NewUDP(UDPConfig{
+		Listen: "127.0.0.1:0",
+		Handler: func(m event.Message) {
+			if first {
+				first = false // dispatcher is single-goroutine: no lock needed
+				<-release
+			}
+			c.handle(m)
+		},
+		RecvQueue: queue,
+	})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer recv.Close()
+	recv.Start()
+	sender, err := NewUDP(UDPConfig{
+		Listen:  "127.0.0.1:0",
+		Peers:   []string{recv.LocalAddr().String()},
+		Handler: func(event.Message) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	// Message 0 occupies the handler...
+	sender.Broadcast(event.IDList{From: 0})
+	waitFor(t, func() bool { return recv.Stats().DatagramsReceived == 1 }, "handler occupied")
+	// ...and the flood overflows the ring by `extra`.
+	for i := 1; i <= queue+extra; i++ {
+		sender.Broadcast(event.IDList{From: event.NodeID(i)})
+	}
+	waitFor(t, func() bool { return recv.Stats().RecvDropped == extra }, "dispatch-ring evictions")
+	close(release)
+	waitFor(t, func() bool { return c.count() == 1+queue }, "survivors after release")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[event.NodeID]bool{}
+	for _, m := range c.msgs {
+		seen[m.(event.IDList).From] = true
+	}
+	if !seen[0] || !seen[event.NodeID(queue+extra)] {
+		t.Fatalf("first and newest messages must survive; got %v", seen)
+	}
+}
+
+// TestUDPBroadcastNotBlockedByUnreadPeer is the head-of-line regression
+// test: a peer that never reads its socket must not slow Broadcast or
+// starve other peers — the protocol layer only ever pays the enqueue
+// cost.
+func TestUDPBroadcastNotBlockedByUnreadPeer(t *testing.T) {
+	const n = 200
+	// A bound-but-never-read socket.
+	dead, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer dead.Close()
+	var c collect
+	live, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: c.handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	live.Start()
+	sender, err := NewUDP(UDPConfig{
+		Listen:    "127.0.0.1:0",
+		Peers:     []string{dead.LocalAddr().String(), live.LocalAddr().String()},
+		Handler:   func(event.Message) {},
+		SendQueue: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sender.Broadcast(event.IDList{From: event.NodeID(i)})
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("%d Broadcasts took %v; protocol layer is being blocked", n, took)
+	}
+	waitFor(t, func() bool { return c.count() == n }, "live peer deliveries")
+	if got := sender.Stats().Dropped; got != 0 {
+		t.Fatalf("send ring dropped %d with adequate capacity", got)
+	}
+}
+
+// TestUDPBatchCoalescing pins the flush-tick behaviour: broadcasts
+// issued within one FlushInterval ride the same writer wakeup, so the
+// batch counter stays far below the message count while every message
+// is still delivered.
+func TestUDPBatchCoalescing(t *testing.T) {
+	const n = 10
+	var c collect
+	recv, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Handler: c.handle})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer recv.Close()
+	recv.Start()
+	sender, err := NewUDP(UDPConfig{
+		Listen:        "127.0.0.1:0",
+		Peers:         []string{recv.LocalAddr().String()},
+		Handler:       func(event.Message) {},
+		FlushInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	for i := 0; i < n; i++ {
+		sender.Broadcast(event.IDList{From: event.NodeID(i)})
+	}
+	waitFor(t, func() bool { return c.count() == n }, "all coalesced messages")
+	s := sender.Stats()
+	if s.Batches == 0 || s.Batches > n/2 {
+		t.Fatalf("Batches = %d for %d messages; flush coalescing is not happening", s.Batches, n)
+	}
+}
+
+// TestUDPBroadcastZeroAlloc pins the pooled fast path: once every ring
+// slot has grown to its working size, Broadcast performs zero heap
+// allocations. The writer is parked on a distant flush tick so the
+// measurement sees the pure enqueue cost the protocol layer pays.
+func TestUDPBroadcastZeroAlloc(t *testing.T) {
+	u, err := NewUDP(UDPConfig{
+		Listen:        "127.0.0.1:0",
+		Handler:       func(event.Message) {},
+		SendQueue:     64,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	var msg event.Message = event.Heartbeat{
+		From:          3,
+		Speed:         1.5,
+		Subscriptions: []topic.Topic{topic.MustParse(".zero.alloc")},
+	}
+	// Warm every slot buffer once around the ring.
+	for i := 0; i < 64; i++ {
+		u.Broadcast(msg)
+	}
+	if n := testing.AllocsPerRun(200, func() { u.Broadcast(msg) }); n != 0 {
+		t.Fatalf("Broadcast allocated %.1f times/op on the warm path, want 0", n)
 	}
 }
 

@@ -54,7 +54,26 @@ type (
 	Timer = core.Timer
 	// Stats are the protocol's cumulative counters.
 	Stats = core.Stats
+	// TransportStats are the UDP transport's cumulative counters
+	// (datagrams, decode errors, queue drops, flush batches).
+	TransportStats = transport.Stats
 )
+
+// UDPTuning adjusts the asynchronous fast path of the built-in UDP
+// transport. The zero value selects the defaults
+// (transport.DefaultSendQueue / DefaultRecvQueue, immediate flush) —
+// NewUDPNode uses exactly that.
+type UDPTuning struct {
+	// SendQueue bounds the outbound message ring; overflow drops the
+	// oldest queued message (counted in TransportStats.Dropped).
+	SendQueue int
+	// RecvQueue bounds the inbound dispatch ring; overflow drops the
+	// oldest queued datagram (counted in TransportStats.RecvDropped).
+	RecvQueue int
+	// FlushInterval makes the writer linger so nearby broadcasts
+	// coalesce into one batch; 0 flushes as soon as the writer wakes.
+	FlushInterval time.Duration
+}
 
 // ParseTopic converts a string such as ".a.b" (or "a.b") into a Topic.
 func ParseTopic(s string) (Topic, error) { return topic.Parse(s) }
@@ -113,11 +132,21 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 // started only after the protocol instance is wired, so no datagram can
 // reach a half-constructed node.
 func NewUDPNode(cfg Config, listen string, peers []string) (*Node, error) {
+	return NewUDPNodeTuned(cfg, listen, peers, UDPTuning{})
+}
+
+// NewUDPNodeTuned is NewUDPNode with explicit transport tuning — queue
+// bounds and flush batching for high-rate deployments (see cmd/loadgen
+// for a soak harness built on it).
+func NewUDPNodeTuned(cfg Config, listen string, peers []string, tun UDPTuning) (*Node, error) {
 	n := &Node{clock: &wallClock{start: time.Now()}}
 	udp, err := transport.NewUDP(transport.UDPConfig{
-		Listen:  listen,
-		Peers:   peers,
-		Handler: func(m Message) { _ = n.safe.HandleMessage(m) },
+		Listen:        listen,
+		Peers:         peers,
+		Handler:       func(m Message) { _ = n.safe.HandleMessage(m) },
+		SendQueue:     tun.SendQueue,
+		RecvQueue:     tun.RecvQueue,
+		FlushInterval: tun.FlushInterval,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: %w", err)
@@ -157,6 +186,15 @@ func (n *Node) HasEvent(id EventID) bool { return n.safe.HasEvent(id) }
 
 // Stats returns a snapshot of the protocol counters.
 func (n *Node) Stats() Stats { return n.safe.Stats() }
+
+// TransportStats returns a snapshot of the UDP transport counters, or
+// the zero value for custom transports.
+func (n *Node) TransportStats() TransportStats {
+	if n.udp == nil {
+		return TransportStats{}
+	}
+	return n.udp.Stats()
+}
 
 // LocalAddr returns the UDP listen address, or nil for custom
 // transports.

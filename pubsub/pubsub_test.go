@@ -127,12 +127,18 @@ func TestCustomTransportNode(t *testing.T) {
 func TestUDPNodeEndToEnd(t *testing.T) {
 	news := pubsub.MustParseTopic(".mesh")
 	mk := func(id pubsub.NodeID, deliver func(pubsub.Event)) *pubsub.Node {
-		n, err := pubsub.NewUDPNode(pubsub.Config{
+		// Explicit (default-equivalent) tuning exercises the tuned
+		// constructor on the same end-to-end path NewUDPNode takes.
+		n, err := pubsub.NewUDPNodeTuned(pubsub.Config{
 			ID:           id,
 			HBDelay:      50 * time.Millisecond,
 			HBUpperBound: 50 * time.Millisecond,
 			OnDeliver:    deliver,
-		}, "127.0.0.1:0", nil)
+		}, "127.0.0.1:0", nil, pubsub.UDPTuning{
+			SendQueue:     256,
+			RecvQueue:     256,
+			FlushInterval: time.Millisecond,
+		})
 		if err != nil {
 			t.Skipf("UDP unavailable: %v", err)
 		}
@@ -177,5 +183,25 @@ func TestUDPNodeEndToEnd(t *testing.T) {
 		case <-time.After(5 * time.Second):
 			t.Fatal("delivery timed out over UDP")
 		}
+	}
+	// The transport counters are visible through the facade; the custom
+	// transport path returns the zero value.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && a.TransportStats().DatagramsSent == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ts := a.TransportStats(); ts.DatagramsSent == 0 || ts.DecodeErrors != 0 {
+		t.Fatalf("transport stats = %+v", ts)
+	}
+}
+
+func TestCustomTransportStatsZero(t *testing.T) {
+	n, err := pubsub.NewNode(pubsub.Config{ID: 5}, &chanTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if ts := n.TransportStats(); ts != (pubsub.TransportStats{}) {
+		t.Fatalf("custom transport stats = %+v, want zero", ts)
 	}
 }
