@@ -19,6 +19,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -890,4 +891,25 @@ func BenchmarkUDPBroadcast(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*perOp)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkObsRegistry pins the observability hot path: incrementing a
+// registered counter (what transport and pubsub pay per operation when
+// scraped) must stay a bare atomic — ~0 allocs/op is the guarded signal
+// in the CI bench diff. Registration cost is paid once outside the
+// timed loop, exactly as RegisterMetrics does at wiring time.
+func BenchmarkObsRegistry(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("repro_bench_ops_total", "benchmark counter", "node", "1")
+	g := reg.Gauge("repro_bench_depth", "benchmark gauge", "node", "1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+	}
+	b.StopTimer()
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("counter = %d, want %d", c.Value(), b.N)
+	}
 }

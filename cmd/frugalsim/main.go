@@ -20,20 +20,49 @@
 //	frugalsim -scenario stadium                  # generated flash crowd
 //	frugalsim -workload poisson -events 0        # generated traffic only
 //	frugalsim -workload churn-nodes -events 3    # churn under traffic
+//	frugalsim -scenario metro-slice -sample 5s -series-out curve.csv
+//	frugalsim -scenario metro-5k -cpuprofile cpu.pprof
+//
+// -sample records a deterministic per-window time-series during the run
+// (delivery ratio, in-flight transmissions, protocol/MAC counter
+// deltas); it never changes the measured result — fingerprints are
+// byte-identical with sampling on or off. -series-out writes the curve
+// (.json = JSON, else CSV). -cpuprofile/-memprofile capture pprof
+// profiles of the run itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// writeSeries dumps a sampled run's curve; the extension picks the
+// encoder (.json = JSON document, anything else = CSV).
+func writeSeries(path string, s *netsim.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	var (
@@ -59,6 +88,12 @@ func main() {
 			"geo tiles the run is sharded across (0 = auto by size, 1 = single engine); results are byte-identical at any value")
 		showTrace = flag.Int("trace", 0, "print the last N timeline records (0 = off)")
 		timeline  = flag.Bool("timeline", false, "print per-event coverage over time")
+		sample    = flag.Duration("sample", 0,
+			"record a time-series point every period (0 = off); sampling never changes results")
+		seriesOut = flag.String("series-out", "",
+			"write the sampled time-series to this file (.json = JSON, otherwise CSV; requires -sample)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -84,6 +119,8 @@ func main() {
 		compatible := map[string]bool{
 			"scenario": true, "protocol": true, "seed": true,
 			"tiles": true, "trace": true, "timeline": true,
+			"sample": true, "series-out": true,
+			"cpuprofile": true, "memprofile": true,
 		}
 		for name := range explicit {
 			if !compatible[name] {
@@ -186,6 +223,11 @@ func main() {
 		}
 	}
 	sc.Tiles = *tiles
+	sc.Sample = *sample
+	if *seriesOut != "" && *sample <= 0 {
+		fmt.Fprintln(os.Stderr, "-series-out requires -sample")
+		os.Exit(2)
+	}
 	if *showTrace > 0 {
 		sc.Trace = trace.New(*showTrace)
 	}
@@ -195,11 +237,25 @@ func main() {
 		sc.DeliveryLog = true
 	}
 
-	start := time.Now()
-	res, err := netsim.Run(sc)
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := netsim.Run(sc)
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, res.Series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	workloadNote := ""
@@ -213,6 +269,13 @@ func main() {
 	if ts := res.Tile; ts != nil {
 		fmt.Printf("tiled across %d tiles: %d windows, %d border crossings, %d border frames, %d/%d frames fanned/serial\n",
 			ts.Tiles, ts.Windows, ts.Crossings, ts.BorderFrames, ts.FannedFrames, ts.SerialFrames)
+	}
+	if s := res.Series; s != nil {
+		note := ""
+		if *seriesOut != "" {
+			note = " -> " + *seriesOut
+		}
+		fmt.Printf("sampled %d time-series points every %v%s\n", len(s.Points), s.Period, note)
 	}
 	fmt.Println()
 

@@ -11,22 +11,37 @@
 // real codec under load, with the transport's backpressure counters
 // (queue drops, decode errors) surfaced alongside.
 //
+// The run is observable while it happens: -metrics-addr serves the
+// whole mesh's counters as Prometheus text on /metrics (plus
+// /metrics.json, /healthz, per-node flight-recorder dumps on
+// /flight?node=N, and net/http/pprof), a progress line lands on stderr
+// every -progress interval, and -json writes a machine-readable final
+// report — the artifact CI asserts against. -check failures print that
+// full report plus a flight dump, so a failed soak is diagnosable from
+// logs alone.
+//
 // Examples:
 //
 //	loadgen -nodes 50 -duration 10s                  # default poisson soak
 //	loadgen -nodes 50 -duration 5s -check            # CI smoke: assert vs sim
+//	loadgen -metrics-addr 127.0.0.1:0                # scrape /metrics live
+//	loadgen -json report.json -check                 # machine-readable verdict
 //	loadgen -workload flash-crowd -rate 5 -peak 200  # burst overload
 //	loadgen -spread 16 -zipf 1.2                     # Zipf topic popularity
 //	loadgen -list                                    # traffic generator catalog
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
@@ -34,6 +49,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topic"
 	"repro/internal/workload"
 	"repro/pubsub"
@@ -56,12 +72,18 @@ type tracker struct {
 	events  map[event.ID]*evRec
 	latency metrics.LogHist
 	late    int // deliveries of events published before tracking started
+
+	// pubs/gots shadow the map totals as atomics so the progress ticker
+	// and the metrics registry can read them without taking the lock.
+	pubs atomic.Int64
+	gots atomic.Int64
 }
 
 func (tr *tracker) published(id event.ID, eligible int) {
 	tr.mu.Lock()
 	tr.events[id] = &evRec{at: time.Now(), eligible: eligible}
 	tr.mu.Unlock()
+	tr.pubs.Add(1)
 }
 
 func (tr *tracker) delivered(ev pubsub.Event) {
@@ -74,6 +96,7 @@ func (tr *tracker) delivered(ev pubsub.Event) {
 	}
 	rec.got++
 	tr.latency.Add(time.Since(rec.at).Seconds())
+	tr.gots.Add(1)
 }
 
 func run() int {
@@ -95,9 +118,13 @@ func run() int {
 		flush    = flag.Duration("flush", 0, "transport flush interval (0 = immediate)")
 		check    = flag.Bool("check", false,
 			"assert the soak: nonzero deliveries, zero decode errors, delivery ratio within -band of the sim prediction (exit 1 on failure)")
-		band   = flag.Float64("band", 0.35, "allowed |real - sim| delivery-ratio gap under -check")
-		minDPS = flag.Float64("min-dps", 0, "under -check, minimum sustained datagrams/s (0 = don't assert)")
-		list   = flag.Bool("list", false, "list registered traffic generators and exit")
+		band        = flag.Float64("band", 0.35, "allowed |real - sim| delivery-ratio gap under -check")
+		minDPS      = flag.Float64("min-dps", 0, "under -check, minimum sustained datagrams/s (0 = don't assert)")
+		list        = flag.Bool("list", false, "list registered traffic generators and exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz, /flight and pprof on this address for the run (e.g. 127.0.0.1:0; the bound address is printed)")
+		flight      = flag.Int("flight", 256, "per-node flight recorder capacity (0 = off); dump over /flight?node=N or on -check failure")
+		jsonOut     = flag.String("json", "", "write the machine-readable final report to this file as JSON")
+		progress    = flag.Duration("progress", 5*time.Second, "print a live progress line every interval (0 = off)")
 	)
 	flag.Parse()
 	if *list {
@@ -192,6 +219,47 @@ func run() int {
 		}
 	}
 
+	// Observability: per-node flight recorders, every node's counters in
+	// one registry, and an optional HTTP listener for live scrapes and
+	// flight dumps. All read-only with respect to the protocol.
+	if *flight > 0 {
+		for _, n := range mesh {
+			n.StartFlightRecorder(*flight)
+		}
+	}
+	reg := obs.NewRegistry()
+	reg.CounterFunc("repro_loadgen_published_total",
+		"events published by the harness", func() uint64 { return uint64(tr.pubs.Load()) })
+	reg.CounterFunc("repro_loadgen_delivered_total",
+		"tracked deliveries observed across the mesh", func() uint64 { return uint64(tr.gots.Load()) })
+	reg.GaugeFunc("repro_loadgen_nodes",
+		"mesh size", func() float64 { return float64(len(mesh)) })
+	for _, n := range mesh {
+		n.RegisterMetrics(reg)
+	}
+	if *metricsAddr != "" {
+		mux := obs.NewMux(reg)
+		mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+			i, err := strconv.Atoi(r.URL.Query().Get("node"))
+			if err != nil || i < 0 || i >= len(mesh) {
+				http.Error(w, fmt.Sprintf("usage: /flight?node=<0..%d>", len(mesh)-1), http.StatusBadRequest)
+				return
+			}
+			if err := mesh[i].WriteFlight(w); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+			}
+		})
+		srv, err := obs.Serve(*metricsAddr, mux)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: metrics: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		// The bound address line is machine-readable on purpose: tests
+		// and scripts bind :0 and scrape whatever port came back.
+		fmt.Printf("metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
+	}
+
 	// The same generator stream the simulator would run.
 	rng := rand.New(rand.NewSource(*seed))
 	gen, err := workload.Build(*wkld, params, workload.Env{
@@ -211,6 +279,31 @@ func run() int {
 
 	start := time.Now()
 	end := start.Add(*warmup + *duration)
+	stopProgress := func() {}
+	if *progress > 0 {
+		done := make(chan struct{})
+		var once sync.Once
+		stopProgress = func() { once.Do(func() { close(done) }) }
+		go func() {
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					var w pubsub.TransportStats
+					for _, n := range mesh {
+						w = addWire(w, n.TransportStats())
+					}
+					fmt.Fprintf(os.Stderr, "progress: t=%-6s published %d  delivered %d  datagrams %d  drops send %d recv %d\n",
+						time.Since(start).Round(time.Second), tr.pubs.Load(), tr.gots.Load(),
+						w.DatagramsSent, w.Dropped, w.RecvDropped)
+				}
+			}
+		}()
+	}
+	defer stopProgress()
 	// Throughput and message counters cover the measurement window only:
 	// baselines are snapshotted once warm-up ends.
 	time.Sleep(time.Until(start.Add(*warmup)))
@@ -338,27 +431,110 @@ func run() int {
 		simRatio, simRes.EventsSentPerProcess(),
 		simRes.Latency.Quantile(0.50)*1e3, simRes.Latency.Quantile(0.99)*1e3)
 	fmt.Printf("diff:  |real - sim| delivery ratio = %.3f\n", math.Abs(realRatio-simRatio))
+	stopProgress()
 
+	rep := report{
+		Nodes:           *nodes,
+		Subscribers:     numSubs,
+		Workload:        *wkld,
+		WarmupSeconds:   warmup.Seconds(),
+		MeasureSeconds:  duration.Seconds(),
+		Published:       published,
+		Delivered:       gotSum,
+		Eligible:        eligSum,
+		RealRatio:       realRatio,
+		SimRatio:        simRatio,
+		RatioGap:        math.Abs(realRatio - simRatio),
+		ProtoMsgs:       protoMsgs,
+		DatagramsPerSec: dps,
+		Batches:         wire.Batches,
+		LatencyMsP50:    lat.Quantile(0.50) * 1e3,
+		LatencyMsP90:    lat.Quantile(0.90) * 1e3,
+		LatencyMsP99:    lat.Quantile(0.99) * 1e3,
+		SendDrops:       wire.Dropped,
+		RecvDrops:       wire.RecvDropped,
+		DecodeErrors:    wire.DecodeErrors,
+		SendErrors:      wire.SendErrors,
+	}
+	var checkFailure string
 	if *check {
-		fail := func(format string, args ...any) int {
-			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: "+format+"\n", args...)
-			return 1
+		switch gap := rep.RatioGap; {
+		case published == 0 || gotSum == 0:
+			checkFailure = fmt.Sprintf("no deliveries (published %d, delivered %d)", published, gotSum)
+		case wire.DecodeErrors != 0:
+			checkFailure = fmt.Sprintf("%d decode errors on the wire", wire.DecodeErrors)
+		case gap > *band:
+			checkFailure = fmt.Sprintf("delivery ratio %.3f vs sim %.3f: gap %.3f > band %.3f", realRatio, simRatio, gap, *band)
+		case *minDPS > 0 && dps < *minDPS:
+			checkFailure = fmt.Sprintf("throughput %.0f datagrams/s < required %.0f", dps, *minDPS)
 		}
-		if published == 0 || gotSum == 0 {
-			return fail("no deliveries (published %d, delivered %d)", published, gotSum)
+		rep.Check = &checkReport{Passed: checkFailure == "", Failure: checkFailure}
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: report: %v\n", err)
+		return 2
+	}
+	blob = append(blob, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: report: %v\n", err)
+			return 2
 		}
-		if wire.DecodeErrors != 0 {
-			return fail("%d decode errors on the wire", wire.DecodeErrors)
+	}
+	if *check && checkFailure != "" {
+		// Failures must be diagnosable from CI logs alone: the message,
+		// the full report, and a recent-history flight dump all land on
+		// stderr (plus the report file when -json is set).
+		fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %s\n", checkFailure)
+		if *jsonOut != "" {
+			fmt.Fprintf(os.Stderr, "loadgen: full report (also at %s):\n%s", *jsonOut, blob)
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: full report:\n%s", blob)
 		}
-		if gap := math.Abs(realRatio - simRatio); gap > *band {
-			return fail("delivery ratio %.3f vs sim %.3f: gap %.3f > band %.3f", realRatio, simRatio, gap, *band)
+		if *flight > 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: flight recorder, node 0:")
+			_ = mesh[0].WriteFlight(os.Stderr)
 		}
-		if *minDPS > 0 && dps < *minDPS {
-			return fail("throughput %.0f datagrams/s < required %.0f", dps, *minDPS)
-		}
+		return 1
+	}
+	if *check {
 		fmt.Println("loadgen: CHECK OK")
 	}
 	return 0
+}
+
+// report is the -json machine-readable run summary; the CI soak asserts
+// against it instead of scraping the human-oriented stdout lines.
+type report struct {
+	Nodes           int          `json:"nodes"`
+	Subscribers     int          `json:"subscribers"`
+	Workload        string       `json:"workload"`
+	WarmupSeconds   float64      `json:"warmup_seconds"`
+	MeasureSeconds  float64      `json:"measure_seconds"`
+	Published       int          `json:"published"`
+	Delivered       int          `json:"delivered"`
+	Eligible        int          `json:"eligible"`
+	RealRatio       float64      `json:"real_delivery_ratio"`
+	SimRatio        float64      `json:"sim_delivery_ratio"`
+	RatioGap        float64      `json:"ratio_gap"`
+	ProtoMsgs       uint64       `json:"proto_msgs"`
+	DatagramsPerSec float64      `json:"datagrams_per_second"`
+	Batches         uint64       `json:"batches"`
+	LatencyMsP50    float64      `json:"latency_ms_p50"`
+	LatencyMsP90    float64      `json:"latency_ms_p90"`
+	LatencyMsP99    float64      `json:"latency_ms_p99"`
+	SendDrops       uint64       `json:"send_drops"`
+	RecvDrops       uint64       `json:"recv_drops"`
+	DecodeErrors    uint64       `json:"decode_errors"`
+	SendErrors      uint64       `json:"send_errors"`
+	Check           *checkReport `json:"check,omitempty"`
+}
+
+// checkReport records the -check verdict inside the JSON report.
+type checkReport struct {
+	Passed  bool   `json:"passed"`
+	Failure string `json:"failure,omitempty"`
 }
 
 func addStats(a, b pubsub.Stats) pubsub.Stats {

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildLoadgen compiles the command once into a temp dir; the check and
@@ -22,23 +28,160 @@ func buildLoadgen(t *testing.T) string {
 
 // TestSmallSoakCheckPasses runs a miniature soak end to end in -check
 // mode: real sockets, real workload stream, the sim mirror, and the
-// assertions — the same shape the CI smoke runs at 50 nodes.
+// assertions — the same shape the CI smoke runs at 50 nodes. The
+// verdict is read from the -json report, the artifact CI consumes.
 func TestSmallSoakCheckPasses(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak needs a few wall-clock seconds")
 	}
 	bin := buildLoadgen(t)
+	repPath := filepath.Join(t.TempDir(), "report.json")
 	cmd := exec.Command(bin,
 		"-nodes", "8", "-duration", "2s", "-warmup", "500ms",
-		"-rate", "10", "-hb", "200ms", "-check", "-band", "0.5")
+		"-rate", "10", "-hb", "200ms", "-check", "-band", "0.5",
+		"-json", repPath, "-progress", "1s")
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("soak check failed: %v\n%s", err, out)
 	}
-	for _, want := range []string{"real:", "sim:", "CHECK OK"} {
+	for _, want := range []string{"real:", "sim:", "CHECK OK", "progress:"} {
 		if !strings.Contains(string(out), want) {
 			t.Fatalf("output lacks %q:\n%s", want, out)
 		}
+	}
+	var rep struct {
+		Published int     `json:"published"`
+		Delivered int     `json:"delivered"`
+		RealRatio float64 `json:"real_delivery_ratio"`
+		Check     *struct {
+			Passed bool `json:"passed"`
+		} `json:"check"`
+	}
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Published == 0 || rep.Delivered == 0 || rep.RealRatio <= 0 {
+		t.Fatalf("report counters empty: %s", data)
+	}
+	if rep.Check == nil || !rep.Check.Passed {
+		t.Fatalf("report check verdict wrong: %s", data)
+	}
+}
+
+// TestMetricsEndpointServesMesh starts a soak with -metrics-addr, reads
+// the bound address off stdout, and scrapes /metrics, /healthz and
+// /flight while the mesh is running — the acceptance criterion that a
+// live loadgen serves valid Prometheus text with the key series.
+func TestMetricsEndpointServesMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a few wall-clock seconds")
+	}
+	bin := buildLoadgen(t)
+	cmd := exec.Command(bin,
+		"-nodes", "4", "-duration", "4s", "-warmup", "300ms",
+		"-rate", "10", "-hb", "100ms", "-metrics-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "metrics: http://") {
+			base = "http://" + strings.TrimSuffix(strings.TrimPrefix(line, "metrics: http://"), "/metrics (pprof under /debug/pprof/)")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no metrics address line on stdout (scan err %v)", sc.Err())
+	}
+	get := func(path string) string {
+		t.Helper()
+		var body []byte
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(base + path)
+			if err == nil {
+				body, err = io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode == http.StatusOK {
+					return string(body)
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("/healthz = %q", got)
+	}
+	// Give the mesh a beat of traffic so counters are nonzero.
+	time.Sleep(time.Second)
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE repro_loadgen_published_total counter",
+		"repro_loadgen_nodes 4",
+		`repro_transport_datagrams_sent_total{node="0"}`,
+		`repro_pubsub_heartbeats_sent_total{node="3"}`,
+		"# TYPE repro_transport_handler_seconds summary",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	if flight := get("/flight?node=0"); flight == "" {
+		t.Error("/flight?node=0 returned an empty timeline")
+	}
+}
+
+// TestCheckFailureIncludesReport pins the diagnosability contract: a
+// failed -check exits 1 and lands the full JSON report (and a flight
+// dump) on stderr, so CI logs alone explain the failure.
+func TestCheckFailureIncludesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a few wall-clock seconds")
+	}
+	bin := buildLoadgen(t)
+	repPath := filepath.Join(t.TempDir(), "report.json")
+	cmd := exec.Command(bin,
+		"-nodes", "4", "-duration", "1s", "-warmup", "300ms",
+		"-rate", "10", "-hb", "100ms",
+		"-check", "-min-dps", "1e12", "-json", repPath)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("err = %v, want exit 1\n%s", err, out)
+	}
+	for _, want := range []string{
+		"CHECK FAILED", "full report", `"passed": false`, `"failure":`,
+		"flight recorder, node 0:",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("failure output lacks %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatalf("report not written on failure: %v", err)
+	}
+	if !strings.Contains(string(data), `"passed": false`) {
+		t.Fatalf("report file lacks the failed verdict: %s", data)
 	}
 }
 

@@ -22,13 +22,21 @@
 //     behind the protocol, scenario and workload registries
 //   - internal/netsim, metrics, exp — scenario runner, scenario
 //     registry and experiments
+//   - internal/obs — the shared observability layer: a zero-dependency
+//     metrics registry (Prometheus text + JSON encoders, /metrics +
+//     /healthz + pprof HTTP listener) and CPU/heap profile helpers
+//     (ARCHITECTURE.md "Observability contracts")
+//   - internal/trace — bounded message-level timelines: simulation
+//     traces and the real path's concurrent flight-recorder ring
 //   - pubsub, internal/transport — the real-network face of the same
 //     core protocol: a goroutine-safe Node over batched, bounded-queue
-//     UDP peer-group broadcast (ARCHITECTURE.md "Real-path contracts")
+//     UDP peer-group broadcast (ARCHITECTURE.md "Real-path contracts"),
+//     with per-node metrics registration and flight recording built in
 //   - cmd/experiments, cmd/frugalsim, cmd/benchjson, cmd/loadgen —
 //     command-line tools (loadgen soak-tests N real UDP nodes under
 //     the registered workload generators and prints the measured
-//     delivery ratio/latency next to the netsim prediction)
+//     delivery ratio/latency next to the netsim prediction, optionally
+//     serving live /metrics and writing a machine-readable report)
 //   - examples/ — quickstart, carpark, campus, inprocess, udpmesh
 //
 // ARCHITECTURE.md maps the paper's sections onto these packages and
@@ -48,6 +56,13 @@
 //	go run ./cmd/experiments -fig fig13  # one figure, scaled down
 //	go run ./cmd/experiments -scenario manhattan # one registered scenario
 //	go run ./cmd/experiments -parallel 8 # cap concurrent simulations
+//
+// Observability rides along without changing any result: -sample
+// records a deterministic per-run time-series (-series-out dumps the
+// curves as CSV/JSON), -cpuprofile/-memprofile profile the sweeps, and
+// cmd/loadgen -metrics-addr serves live Prometheus metrics, pprof and
+// per-node flight-recorder dumps for a real soak (ARCHITECTURE.md
+// "Observability contracts").
 //
 // # Scenario registry
 //

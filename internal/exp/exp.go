@@ -9,6 +9,8 @@ package exp
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -54,6 +56,40 @@ type Options struct {
 	// internally) plus one line per sweep point during aggregation, in
 	// deterministic sweep order.
 	Progress func(string)
+	// Sample, when positive, sets netsim.Scenario.Sample on every run
+	// of the registry-backed scenario and workload sweeps
+	// (cmd/experiments -sample), recording each simulation's
+	// deterministic time-series. Sampling is observation-only: rendered
+	// tables are byte-identical with it on or off (pinned by
+	// TestGoldenSampleInvariance). The fixed-size figure sweeps ignore
+	// it — curve dumps target the registry-backed environments.
+	Sample time.Duration
+	// SeriesDir, when non-empty (cmd/experiments -series-out), writes
+	// each sampled run's curve to
+	// <SeriesDir>/<sweep>-<protocol>-seed<N>.csv. Requires Sample.
+	SeriesDir string
+}
+
+// dumpSeries writes one sampled run's series (when SeriesDir is set and
+// the run recorded one) as <SeriesDir>/<base>.csv. Called from worker
+// goroutines; each sweep point owns a distinct file name.
+func (o Options) dumpSeries(base string, res *netsim.Result) error {
+	if o.SeriesDir == "" || res.Series == nil {
+		return nil
+	}
+	if err := os.MkdirAll(o.SeriesDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(o.SeriesDir, base+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Series.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("exp: writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func (o Options) seedCount(def int) int {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/netsim"
 )
@@ -23,18 +24,27 @@ func TestMetroFingerprint(t *testing.T) {
 	if !ok {
 		t.Fatal("metro-5k not registered")
 	}
-	res, err := netsim.Run(def.Instantiate(1))
+	// Sampling rides along: the golden was recorded unsampled, so the
+	// comparison doubles as the city-scale sample-invariance check
+	// (Scenario.Sample is observation-only; see netsim/series.go).
+	sc := def.Instantiate(1)
+	sc.Sample = 10 * time.Second
+	res, err := netsim.Run(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "metro-5k-fingerprint", res.Fingerprint()+"\n")
+	if res.Series == nil || len(res.Series.Points) == 0 {
+		t.Fatal("sampled metro-5k run has no series")
+	}
 }
 
 // TestMetroSliceFingerprint pins the metro-slice district run — the
-// tile-parallel fixture — bit for bit, untiled and at four tiles
-// against the same golden: the tiled runner's byte-identity contract
-// enforced against on-disk bytes, in tier-1 time (a few seconds per
-// run), not just between two same-process runs.
+// tile-parallel fixture — bit for bit, untiled, sampled, and sampled at
+// four tiles against the same golden: the tiled runner's byte-identity
+// contract and the sampler's observation-only contract enforced against
+// on-disk bytes, in tier-1 time (a few seconds per run), not just
+// between two same-process runs.
 func TestMetroSliceFingerprint(t *testing.T) {
 	def, ok := netsim.LookupScenario("metro-slice")
 	if !ok {
@@ -45,14 +55,39 @@ func TestMetroSliceFingerprint(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "metro-slice-fingerprint", res.Fingerprint()+"\n")
-	if testing.Short() {
-		return
-	}
 	sc := def.Instantiate(1)
-	sc.Tiles = 4
-	tiled, err := netsim.Run(sc)
+	sc.Sample = 5 * time.Second
+	sampled, err := netsim.Run(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "metro-slice-fingerprint", tiled.Fingerprint()+"\n")
+	checkGolden(t, "metro-slice-fingerprint", sampled.Fingerprint()+"\n")
+	if sampled.Series == nil || len(sampled.Series.Points) == 0 {
+		t.Fatal("sampled metro-slice run has no series")
+	}
+	if testing.Short() {
+		return
+	}
+	tiled := def.Instantiate(1)
+	tiled.Tiles = 4
+	tiled.Sample = 5 * time.Second
+	tres, err := netsim.Run(tiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metro-slice-fingerprint", tres.Fingerprint()+"\n")
+	// The series itself must be tile-invariant up to the tile-path
+	// split columns (which legitimately vary with the tile count).
+	if len(tres.Series.Points) != len(sampled.Series.Points) {
+		t.Fatalf("tiled series has %d points, untiled %d",
+			len(tres.Series.Points), len(sampled.Series.Points))
+	}
+	for i := range tres.Series.Points {
+		a, b := sampled.Series.Points[i], tres.Series.Points[i]
+		a.FannedFrames, a.SerialFrames = 0, 0
+		b.FannedFrames, b.SerialFrames = 0, 0
+		if a != b {
+			t.Fatalf("series point %d differs tiled vs untiled:\n%+v\nvs\n%+v", i, b, a)
+		}
+	}
 }

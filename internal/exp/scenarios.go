@@ -90,9 +90,14 @@ func scenarioSweep(def netsim.ScenarioDef, o Options) (*Output, error) {
 		func(ix []int) (sample, error) {
 			sc := def.Instantiate(int64(ix[1]) + 1)
 			sc.Protocol = panel[ix[0]]
+			sc.Sample = o.Sample
 			res, err := netsim.Run(sc)
 			if err != nil {
 				return sample{}, fmt.Errorf("scenario %s, %v: %w", def.Name, sc.Protocol, err)
+			}
+			if err := o.dumpSeries(fmt.Sprintf("scenario-%s-%v-seed%d",
+				def.Name, sc.Protocol, ix[1]+1), res); err != nil {
+				return sample{}, err
 			}
 			return sample{
 				rel:   res.Reliability(),

@@ -139,9 +139,14 @@ func WorkloadSweep(name string, o Options) (*Output, error) {
 			sc := workloadEnv(int64(ix[1]) + 1)
 			sc.Workload = spec
 			sc.Protocol = panel[ix[0]]
+			sc.Sample = o.Sample
 			res, err := netsim.Run(sc)
 			if err != nil {
 				return sample{}, fmt.Errorf("workload %s, %v: %w", name, sc.Protocol, err)
+			}
+			if err := o.dumpSeries(fmt.Sprintf("workload-%s-%v-seed%d",
+				name, sc.Protocol, ix[1]+1), res); err != nil {
+				return sample{}, err
 			}
 			return sample{
 				events: float64(len(res.Published)),

@@ -703,6 +703,20 @@ func (m *Medium) corrupted(tx *transmission, q *Port, rpos geo.Point) bool {
 // paths address ports by attach rank).
 func (m *Medium) port(id event.NodeID) *Port { return m.ports[m.rank[id]] }
 
+// InFlight counts the transmissions still on air at now. live retains
+// recently ended records until prune reclaims them, so the count
+// filters on end time; it is a pure read used by the netsim sampler
+// (Scenario.Sample) and diagnostics.
+func (m *Medium) InFlight(now sim.Time) int {
+	n := 0
+	for _, t := range m.live[m.liveHead:] {
+		if t.end > now {
+			n++
+		}
+	}
+	return n
+}
+
 // newTransmission takes a record from the pool.
 func (m *Medium) newTransmission() *transmission {
 	if n := len(m.txFree); n > 0 {

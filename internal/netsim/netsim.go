@@ -340,6 +340,18 @@ type Scenario struct {
 	// (wrapped into one tile pitch). Any shift yields the same Result —
 	// the metamorphic re-partitioning lever used by tileparity_test.go.
 	TileShift geo.Point
+
+	// Sample, when positive, records a deterministic time-series over
+	// the measurement window into Result.Series: one SeriesPoint per
+	// Sample period (plus a final partial window) with the cumulative
+	// delivery ratio, in-flight transmissions, timer-wheel pending and
+	// per-window proto/MAC counter deltas. The sampler only reads
+	// counters the run already maintains — it draws no randomness and
+	// mutates no protocol or medium state — so every measurement,
+	// golden table and Result.Fingerprint is byte-identical with
+	// sampling on or off (pinned by the sample-invariance tests; see
+	// ARCHITECTURE.md "Observability contracts"). 0 disables sampling.
+	Sample time.Duration
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -447,6 +459,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.Tiles < 0 {
 		return fmt.Errorf("netsim: negative Tiles %d", s.Tiles)
+	}
+	if s.Sample < 0 {
+		return fmt.Errorf("netsim: negative Sample %v", s.Sample)
 	}
 	return nil
 }

@@ -79,6 +79,13 @@ type Result struct {
 	// from Fingerprint: measurements are byte-identical at any tile
 	// count, while these counters legitimately vary with it.
 	Tile *TileStats
+	// Series is the sampled time-series of the measurement window,
+	// populated when Scenario.Sample is positive. It is excluded from
+	// Fingerprint by construction: the fingerprint pins that sampling
+	// is observation-only — the same scenario hashes identically with
+	// sampling on or off (series content itself is seed-deterministic
+	// and tile/parallelism invariant; see series_test.go).
+	Series *Series
 }
 
 // Fingerprint digests everything measured in the run — publications,

@@ -145,6 +145,12 @@ type runner struct {
 	// (Scenario.Tiles); results are byte-identical either way.
 	tiled *tileRun
 
+	// medium is the run's broadcast channel, kept for the sampler's
+	// in-flight reads. sampler is non-nil when Scenario.Sample is set;
+	// it only observes (see series.go).
+	medium  *mac.Medium
+	sampler *sampler
+
 	snapProto []proto.Stats
 	snapMAC   []mac.Counters
 
@@ -219,6 +225,7 @@ func (r *runner) build() error {
 	}
 	cfg := r.macConfig()
 	medium := mac.New(r.eng, cfg, locator{nodes: r.nodes})
+	r.medium = medium
 	for _, n := range r.nodes {
 		n := n
 		n.port = medium.Attach(n.id, func(f mac.Frame) {
@@ -533,6 +540,13 @@ func (r *runner) schedule() error {
 	// Snapshot first: scheduled before any same-instant publication, so
 	// FIFO tie-breaking guarantees window counters include them.
 	r.eng.At(warm, r.snapshot)
+	if sc.Sample > 0 {
+		// The sampler baseline shares the snapshot's FIFO position:
+		// before same-instant workload ops, so the first window counts
+		// them. It draws no RNG — pubRng below sees the same stream
+		// with sampling on or off.
+		r.startSampler(warm)
+	}
 	pubRng := r.eng.NewRand()
 	gen, err := r.buildWorkload()
 	if err != nil {
@@ -801,6 +815,9 @@ func (r *runner) collect() *Result {
 	if r.tiled != nil {
 		stats := r.tiled.stats
 		res.Tile = &stats
+	}
+	if r.sampler != nil {
+		res.Series = r.sampler.series
 	}
 	if len(r.published) > 0 {
 		res.Outcomes = make([]EventOutcome, len(r.published))

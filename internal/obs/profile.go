@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile at cpuPath and/or arranges a heap
+// profile at memPath (either may be empty), returning a stop function
+// that must run once at the end of the measured work — it stops the CPU
+// profile and writes the heap profile after a GC. The CLIs'
+// -cpuprofile/-memprofile flags are thin wrappers over this.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: -cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

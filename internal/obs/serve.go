@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns an http.ServeMux exposing the registry:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot of the same series
+//	/healthz       "ok" (liveness)
+//	/debug/pprof/  the standard runtime profiles
+//
+// Callers may mount additional handlers (e.g. a flight-recorder dump)
+// on the returned mux before passing it to Serve.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// net/http/pprof's handlers, mounted explicitly so we never depend
+	// on http.DefaultServeMux (which other code could pollute).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves
+// handler — typically NewMux(reg) — on a background goroutine. It
+// returns once the listener is bound, so Addr is immediately valid.
+func Serve(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolved port included).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

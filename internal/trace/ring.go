@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Ring is the flight recorder's buffer: a goroutine-safe, fixed-capacity
+// ring of the most recent Records. The simulator uses Trace (single
+// threaded, optionally unbounded); the real path — where publishes,
+// transport loops and timer callbacks race — uses Ring. Add is a short
+// mutex hold and one slot store, cheap enough for per-message lifecycle
+// events (see pubsub.Node.StartFlightRecorder).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Record
+	next  int    // slot the next record lands in
+	total uint64 // records ever added
+}
+
+// NewRing returns a ring retaining the last capacity records.
+// It panics on a non-positive capacity.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: NewRing capacity %d", capacity))
+	}
+	return &Ring{buf: make([]Record, 0, capacity)}
+}
+
+// Add records one entry, overwriting the oldest beyond capacity.
+func (r *Ring) Add(rec Record) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many records were ever added.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Records returns a copy of the retained records, oldest first.
+func (r *Ring) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// WriteText renders the retained records, oldest first, in the same
+// format as Trace.WriteText, prefixed by a dropped-records note when
+// the ring has wrapped.
+func (r *Ring) WriteText(w io.Writer) error {
+	recs := r.Records()
+	total := r.Total()
+	if evicted := total - uint64(len(recs)); evicted > 0 {
+		if _, err := fmt.Fprintf(w, "(%d older records dropped)\n", evicted); err != nil {
+			return err
+		}
+	}
+	for _, rec := range recs {
+		if err := writeRecord(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// TestRingWrap pins eviction order: a full ring keeps the newest
+// capacity records, oldest first.
+func TestRingWrap(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Record{At: sim.Time(i), Node: event.NodeID(i), Op: OpPublish})
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	for i, want := range []sim.Time{2, 3, 4} {
+		if recs[i].At != want {
+			t.Fatalf("recs[%d].At = %v, want %v", i, recs[i].At, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+// TestRingWriteText pins the dump format, including the drop marker and
+// the OpDrop rendering.
+func TestRingWriteText(t *testing.T) {
+	r := NewRing(2)
+	r.Add(Record{Op: OpPublish})
+	r.Add(Record{Op: OpDeliver})
+	r.Add(Record{Op: OpDrop, Msg: event.KindEvents})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"(1 older records dropped)", "deliver", "drop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRingConcurrent exercises Add/Records under the race detector.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(Record{Op: OpReceive})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = r.Records()
+		}
+	}()
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", r.Total())
+	}
+	if got := len(r.Records()); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+}

@@ -24,6 +24,9 @@ const (
 	OpDeliver
 	// OpPublish is a local publication.
 	OpPublish
+	// OpDrop is a message lost to a bounded queue on the real path
+	// (transport send/recv ring overflow); unused by the simulator.
+	OpDrop
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +40,8 @@ func (o Op) String() string {
 		return "deliver"
 	case OpPublish:
 		return "publish"
+	case OpDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -106,22 +111,27 @@ func (t *Trace) ByNode(id event.NodeID) []Record {
 	return t.Filter(func(r Record) bool { return r.Node == id })
 }
 
+// writeRecord renders one timeline entry (shared by Trace and Ring).
+func writeRecord(w io.Writer, r Record) error {
+	var err error
+	switch r.Op {
+	case OpSend:
+		_, err = fmt.Fprintf(w, "%9s  %-4v %-7s %-9s %dB\n",
+			r.At, r.Node, r.Op, r.Msg, r.Bytes)
+	case OpReceive, OpDrop:
+		_, err = fmt.Fprintf(w, "%9s  %-4v %-7s %-9s\n",
+			r.At, r.Node, r.Op, r.Msg)
+	default:
+		_, err = fmt.Fprintf(w, "%9s  %-4v %-7s event %s\n",
+			r.At, r.Node, r.Op, shortID(r.Event))
+	}
+	return err
+}
+
 // WriteText renders the timeline, one record per line.
 func (t *Trace) WriteText(w io.Writer) error {
 	for _, r := range t.records {
-		var err error
-		switch r.Op {
-		case OpSend:
-			_, err = fmt.Fprintf(w, "%9s  %-4v %-7s %-9s %dB\n",
-				r.At, r.Node, r.Op, r.Msg, r.Bytes)
-		case OpReceive:
-			_, err = fmt.Fprintf(w, "%9s  %-4v %-7s %-9s\n",
-				r.At, r.Node, r.Op, r.Msg)
-		default:
-			_, err = fmt.Fprintf(w, "%9s  %-4v %-7s event %s\n",
-				r.At, r.Node, r.Op, shortID(r.Event))
-		}
-		if err != nil {
+		if err := writeRecord(w, r); err != nil {
 			return err
 		}
 	}

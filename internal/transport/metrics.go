@@ -1,0 +1,72 @@
+// Transport observability: the counters UDP already keeps as atomics are
+// exposed through the obs registry as scrape-time funcs, so the hot path
+// pays nothing it was not already paying. Registration additionally arms
+// a handler-latency histogram in the dispatch loop — the one instrument
+// that is not free, costing one time.Now pair and a short mutex hold per
+// dispatched message, which is why it only runs once RegisterMetrics has
+// been called. See ARCHITECTURE.md "Observability contracts".
+
+package transport
+
+import "repro/internal/obs"
+
+// QueueDepths returns the current occupancy of the send and dispatch
+// rings. Safe to call from any goroutine; each read holds the ring
+// mutex briefly.
+func (u *UDP) QueueDepths() (send, recv int) {
+	u.send.mu.Lock()
+	send = u.send.count
+	u.send.mu.Unlock()
+	u.recv.mu.Lock()
+	recv = u.recv.count
+	u.recv.mu.Unlock()
+	return send, recv
+}
+
+// SetDropHook arranges for fn to run after every ring eviction, with
+// outbound reporting which ring overflowed (true: send ring, false:
+// dispatch ring). The hook runs on the Broadcast caller or the socket
+// read goroutine respectively, so it must be fast and must not call
+// back into the transport. One hook at most; pubsub.Node's flight
+// recorder is the intended consumer.
+func (u *UDP) SetDropHook(fn func(outbound bool)) {
+	if fn == nil {
+		u.dropHook.Store(nil)
+		return
+	}
+	u.dropHook.Store(&fn)
+}
+
+// RegisterMetrics exposes the transport's cumulative counters and live
+// queue depths on reg (labels identify the instance, typically
+// node="<id>") and arms the per-message handler-latency histogram.
+// Scrapes read the same atomics Stats reads; nothing is sampled or
+// cached.
+func (u *UDP) RegisterMetrics(reg *obs.Registry, labels ...string) {
+	reg.CounterFunc("repro_transport_datagrams_sent_total",
+		"UDP datagrams written to the peer group", u.sent.Load, labels...)
+	reg.CounterFunc("repro_transport_datagrams_received_total",
+		"UDP datagrams decoded and dispatched to the handler", u.received.Load, labels...)
+	reg.CounterFunc("repro_transport_decode_errors_total",
+		"incoming datagrams that failed to unmarshal", u.decodeErrs.Load, labels...)
+	reg.CounterFunc("repro_transport_send_errors_total",
+		"socket write errors (excluding shutdown)", u.sendErrs.Load, labels...)
+	reg.CounterFunc("repro_transport_send_drops_total",
+		"outbound messages evicted by send-ring overflow (drop-oldest)", u.dropped.Load, labels...)
+	reg.CounterFunc("repro_transport_recv_drops_total",
+		"inbound datagrams evicted by dispatch-ring overflow (drop-oldest)", u.recvDropped.Load, labels...)
+	reg.CounterFunc("repro_transport_batches_total",
+		"writer flush passes; datagrams_sent/batches is the coalescing factor", u.batches.Load, labels...)
+	reg.GaugeFunc("repro_transport_send_queue_depth",
+		"messages currently queued in the send ring", func() float64 {
+			s, _ := u.QueueDepths()
+			return float64(s)
+		}, labels...)
+	reg.GaugeFunc("repro_transport_recv_queue_depth",
+		"datagrams currently queued in the dispatch ring", func() float64 {
+			_, r := u.QueueDepths()
+			return float64(r)
+		}, labels...)
+	u.handlerHist.Store(reg.Histogram("repro_transport_handler_seconds",
+		"decode-to-return latency of each dispatched handler call", labels...))
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // maxDatagram bounds incoming datagrams; protocol messages are far
@@ -172,6 +173,13 @@ type UDP struct {
 	sent, received, decodeErrs, sendErrs atomic.Uint64
 	dropped, recvDropped, batches        atomic.Uint64
 
+	// handlerHist, when armed by RegisterMetrics, observes the
+	// decode-to-return latency of every dispatched handler call.
+	handlerHist atomic.Pointer[obs.Hist]
+	// dropHook, when armed by SetDropHook, is called after every ring
+	// eviction (flight-recorder feed; see pubsub.Node).
+	dropHook atomic.Pointer[func(outbound bool)]
+
 	startOnce sync.Once
 	closeOnce sync.Once
 	done      chan struct{}
@@ -309,6 +317,9 @@ func (u *UDP) Broadcast(m event.Message) {
 	u.send.mu.Unlock()
 	if droppedOldest {
 		u.dropped.Add(1)
+		if fn := u.dropHook.Load(); fn != nil {
+			(*fn)(true)
+		}
 	}
 	select {
 	case u.sendKick <- struct{}{}:
@@ -450,6 +461,9 @@ func (u *UDP) readLoop() {
 		u.recv.mu.Unlock()
 		if droppedOldest {
 			u.recvDropped.Add(1)
+			if fn := u.dropHook.Load(); fn != nil {
+				(*fn)(false)
+			}
 		}
 		select {
 		case u.dispatchKick <- struct{}{}:
@@ -487,7 +501,13 @@ func (u *UDP) dispatchLoop() {
 				continue
 			}
 			u.received.Add(1)
-			u.handler(msg)
+			if h := u.handlerHist.Load(); h != nil {
+				start := time.Now()
+				u.handler(msg)
+				h.Observe(time.Since(start).Seconds())
+			} else {
+				u.handler(msg)
+			}
 			select {
 			case <-u.done:
 				return

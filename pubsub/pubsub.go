@@ -21,11 +21,13 @@ package pubsub
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/topic"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -94,9 +96,14 @@ func Unmarshal(b []byte) (Message, error) { return event.Unmarshal(b) }
 // the wall clock. Create one with NewNode (custom transport) or
 // NewUDPNode (built-in UDP peer-group transport).
 type Node struct {
+	id    NodeID
 	safe  *core.Safe
 	udp   *transport.UDP // nil for custom transports
 	clock *wallClock
+
+	// flight, when armed by StartFlightRecorder, captures the node's
+	// recent lifecycle events (see observe.go).
+	flight atomic.Pointer[trace.Ring]
 }
 
 // wallClock implements Scheduler on real time.
@@ -118,12 +125,14 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 	if tr == nil {
 		return nil, errors.New("pubsub: nil transport")
 	}
-	clock := &wallClock{start: time.Now()}
-	safe, err := core.NewSafe(cfg, clock, tr)
+	n := &Node{id: cfg.ID, clock: &wallClock{start: time.Now()}}
+	n.hookDeliveries(&cfg)
+	safe, err := core.NewSafe(cfg, n.clock, flightTransport{n: n, tr: tr})
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: %w", err)
 	}
-	return &Node{safe: safe, clock: clock}, nil
+	n.safe = safe
+	return n, nil
 }
 
 // NewUDPNode builds a node with the built-in UDP peer-group transport:
@@ -139,11 +148,15 @@ func NewUDPNode(cfg Config, listen string, peers []string) (*Node, error) {
 // bounds and flush batching for high-rate deployments (see cmd/loadgen
 // for a soak harness built on it).
 func NewUDPNodeTuned(cfg Config, listen string, peers []string, tun UDPTuning) (*Node, error) {
-	n := &Node{clock: &wallClock{start: time.Now()}}
+	n := &Node{id: cfg.ID, clock: &wallClock{start: time.Now()}}
+	n.hookDeliveries(&cfg)
 	udp, err := transport.NewUDP(transport.UDPConfig{
-		Listen:        listen,
-		Peers:         peers,
-		Handler:       func(m Message) { _ = n.safe.HandleMessage(m) },
+		Listen: listen,
+		Peers:  peers,
+		Handler: func(m Message) {
+			n.recordReceive(m)
+			_ = n.safe.HandleMessage(m)
+		},
 		SendQueue:     tun.SendQueue,
 		RecvQueue:     tun.RecvQueue,
 		FlushInterval: tun.FlushInterval,
@@ -151,7 +164,7 @@ func NewUDPNodeTuned(cfg Config, listen string, peers []string, tun UDPTuning) (
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: %w", err)
 	}
-	safe, err := core.NewSafe(cfg, n.clock, udp)
+	safe, err := core.NewSafe(cfg, n.clock, flightTransport{n: n, tr: udp})
 	if err != nil {
 		udp.Close()
 		return nil, fmt.Errorf("pubsub: %w", err)
@@ -171,12 +184,21 @@ func (n *Node) Unsubscribe(t Topic) { n.safe.Unsubscribe(t) }
 // Publish disseminates payload on t with the given validity period and
 // returns the event id.
 func (n *Node) Publish(t Topic, payload []byte, validity time.Duration) (EventID, error) {
-	return n.safe.Publish(t, payload, validity)
+	id, err := n.safe.Publish(t, payload, validity)
+	if err == nil {
+		if r := n.flight.Load(); r != nil {
+			r.Add(trace.Record{At: n.flightNow(), Node: n.id, Op: trace.OpPublish, Event: id})
+		}
+	}
+	return id, err
 }
 
 // HandleMessage feeds a message received by a custom transport into the
 // protocol. Safe to call from any goroutine.
-func (n *Node) HandleMessage(m Message) error { return n.safe.HandleMessage(m) }
+func (n *Node) HandleMessage(m Message) error {
+	n.recordReceive(m)
+	return n.safe.HandleMessage(m)
+}
 
 // Neighbors returns the ids currently in the neighborhood table.
 func (n *Node) Neighbors() []NodeID { return n.safe.NeighborIDs() }
