@@ -9,6 +9,8 @@ package repro
 
 import (
 	"math/rand"
+	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -891,6 +893,71 @@ func BenchmarkUDPBroadcast(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*perOp)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkUDPBroadcastMmsg measures the whole outbound fast path end
+// to end: enqueue into the pooled ring, writer swap-drain, and the
+// per-flush batch leaving through one sendmmsg per chunk on Linux (the
+// portable WriteTo loop elsewhere — same benchmark, so the diff between
+// platforms IS the syscall batching). Two never-read sink sockets stand
+// in for the peer group; each iteration broadcasts a full ring and
+// waits until every datagram has hit the wire, so ns/op prices the
+// syscalls, not just the enqueue. The datagrams-per-syscall coalescing
+// factor is reported when the batched path engaged.
+func BenchmarkUDPBroadcastMmsg(b *testing.B) {
+	const perOp = 256
+	var sinks []string
+	for i := 0; i < 2; i++ {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			b.Skipf("UDP unavailable: %v", err)
+		}
+		defer c.Close()
+		sinks = append(sinks, c.LocalAddr().String())
+	}
+	u, err := transport.NewUDP(transport.UDPConfig{
+		Listen:    "127.0.0.1:0",
+		Peers:     sinks,
+		Handler:   func(event.Message) {},
+		SendQueue: perOp,
+	})
+	if err != nil {
+		b.Skipf("UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	var msg event.Message = event.Heartbeat{
+		From:          7,
+		Speed:         1.5,
+		Subscriptions: []topic.Topic{topic.MustParse(".app.news")},
+	}
+	drainTo := func(target uint64) {
+		for u.Stats().DatagramsSent < target {
+			runtime.Gosched()
+		}
+	}
+	// Warm the ring slots and the lazily built mmsg writer state.
+	for i := 0; i < perOp; i++ {
+		u.Broadcast(msg)
+	}
+	warm := uint64(perOp * len(sinks))
+	drainTo(warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < perOp; j++ {
+			u.Broadcast(msg)
+		}
+		drainTo(warm + uint64((i+1)*perOp*len(sinks)))
+	}
+	b.StopTimer()
+	st := u.Stats()
+	if st.Dropped != 0 {
+		b.Fatalf("send ring overflowed (%d drops): iteration did not drain", st.Dropped)
+	}
+	b.ReportMetric(float64(b.N*perOp)/b.Elapsed().Seconds(), "msgs/s")
+	if st.MmsgSends > 0 {
+		b.ReportMetric(float64(st.DatagramsSent)/float64(st.MmsgSends), "datagrams/syscall")
+	}
 }
 
 // BenchmarkObsRegistry pins the observability hot path: incrementing a

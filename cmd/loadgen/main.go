@@ -1,15 +1,29 @@
 // Command loadgen soak-tests the real pubsub fast path: it instantiates
-// N full protocol nodes on in-process UDP loopback sockets (a complete
-// mesh, the LAN-testbed shape of examples/udpmesh), drives them with the
-// same registered workload generators the simulator uses, and reports
-// what the wire actually did — delivery ratio, protocol messages per
-// delivery, datagram throughput, publish-to-delivery latency quantiles —
-// next to the prediction netsim.Run makes for the matching scenario.
+// N full protocol nodes on in-process UDP loopback sockets, drives them
+// with the same registered workload generators the simulator uses, and
+// reports what the wire actually did — delivery ratio, protocol messages
+// per delivery, datagram throughput, publish-to-delivery latency
+// quantiles — next to the prediction netsim.Run makes for the matching
+// scenario.
 //
 // That side-by-side is the point: the simulator's claims about the
 // protocol are validated against real sockets, real goroutines, and the
 // real codec under load, with the transport's backpressure counters
 // (queue drops, decode errors) surfaced alongside.
+//
+// The mesh shape is configurable. -visibility 1 (default) builds the
+// full mesh of earlier revisions; below 1 it builds a circulant partial
+// mesh — node i sees only its k nearest ring neighbors on each side,
+// k ~ visibility*(N-1)/2 — so events must cross multiple real-socket
+// hops and the epidemic repair actually runs on the wire. -membership
+// dynamic switches the roster from static wiring to the deployment
+// story: nodes seed only their forward ring arcs, learn the reverse
+// arcs from observed datagram sources (LearnPeers), and evict silent
+// peers after -suspicion. -churn adds crash/recover waves from the
+// registered churn-nodes generator — the same op stream, executed on
+// real nodes here and by netsim.Run in the mirror: a crashed node's
+// sockets close mid-run, a recovered one rebinds the same address with
+// empty state and resubscribes.
 //
 // The run is observable while it happens: -metrics-addr serves the
 // whole mesh's counters as Prometheus text on /metrics (plus
@@ -24,10 +38,12 @@
 //
 //	loadgen -nodes 50 -duration 10s                  # default poisson soak
 //	loadgen -nodes 50 -duration 5s -check            # CI smoke: assert vs sim
+//	loadgen -visibility 0.3                          # partial mesh: multi-hop epidemic
+//	loadgen -membership dynamic -suspicion 2s        # seed-based join + failure detection
+//	loadgen -churn 0.2 -churn-down 3s                # crash/recover waves
 //	loadgen -metrics-addr 127.0.0.1:0                # scrape /metrics live
 //	loadgen -json report.json -check                 # machine-readable verdict
 //	loadgen -workload flash-crowd -rate 5 -peak 200  # burst overload
-//	loadgen -spread 16 -zipf 1.2                     # Zipf topic popularity
 //	loadgen -list                                    # traffic generator catalog
 package main
 
@@ -59,11 +75,15 @@ func main() {
 	os.Exit(run())
 }
 
-// evRec tracks one published event's real-path outcome.
+// evRec tracks one published event's real-path outcome. seen dedupes
+// per delivering node: a node that crashes and recovers with empty
+// state legitimately re-delivers old events, but the ratio counts each
+// (event, node) pair once.
 type evRec struct {
 	at       time.Time
 	eligible int
 	got      int
+	seen     map[pubsub.NodeID]bool
 }
 
 // tracker accumulates deliveries across all nodes' OnDeliver callbacks.
@@ -81,12 +101,12 @@ type tracker struct {
 
 func (tr *tracker) published(id event.ID, eligible int) {
 	tr.mu.Lock()
-	tr.events[id] = &evRec{at: time.Now(), eligible: eligible}
+	tr.events[id] = &evRec{at: time.Now(), eligible: eligible, seen: make(map[pubsub.NodeID]bool)}
 	tr.mu.Unlock()
 	tr.pubs.Add(1)
 }
 
-func (tr *tracker) delivered(ev pubsub.Event) {
+func (tr *tracker) delivered(ev pubsub.Event, at pubsub.NodeID) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	rec, ok := tr.events[ev.ID]
@@ -94,14 +114,207 @@ func (tr *tracker) delivered(ev pubsub.Event) {
 		tr.late++
 		return
 	}
+	if rec.seen[at] {
+		return // re-delivery by a churn-recovered node
+	}
+	rec.seen[at] = true
 	rec.got++
 	tr.latency.Add(time.Since(rec.at).Seconds())
 	tr.gots.Add(1)
 }
 
+// meshCfg is everything needed to (re)build a node: the harness churn
+// executor recreates crashed nodes with the same identity and address.
+type meshCfg struct {
+	hb        time.Duration
+	tun       pubsub.UDPTuning
+	dynamic   bool
+	flight    int
+	subTopics []topic.Topic // per-node subscription (event or decoy topic)
+	tr        *tracker
+}
+
+// mesh owns the node set and its topology. The workload loop mutates it
+// (crash/recover); the progress ticker, metrics scrapes and final sweep
+// read it concurrently under mu. nodes[i] == nil means node i is down.
+type mesh struct {
+	cfg   meshCfg
+	mu    sync.Mutex
+	nodes []*pubsub.Node
+	addrs []string // stable concrete listen addresses, fixed at first bind
+	// visible[i] is i's undirected circulant neighborhood; forward[i]
+	// the half used as seeds under dynamic membership (the other half
+	// is learned from datagram sources).
+	visible [][]int
+	forward [][]int
+
+	crashes    int
+	recoveries int
+	// Stats of closed node instances: a crash must not lose its
+	// counters, exactly like the sim's prevStats accumulation.
+	retiredProto pubsub.Stats
+	retiredWire  pubsub.TransportStats
+}
+
+// circulant computes the ring-neighbor topology: every node sees the k
+// nearest nodes on each side, k ~ visibility*(N-1)/2 (at least 1, full
+// mesh at visibility 1). The forward arcs alone reach every edge, so
+// seeding only those under LearnPeers converges to the same undirected
+// graph — with half the roster genuinely learned off the wire.
+func circulant(n int, visibility float64) (visible, forward [][]int) {
+	k := int(math.Ceil(visibility*float64(n-1)/2 - 1e-9))
+	if k < 1 {
+		k = 1
+	}
+	visible = make([][]int, n)
+	forward = make([][]int, n)
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{i: true}
+		for d := 1; d <= k; d++ {
+			fwd := (i + d) % n
+			if !seen[fwd] {
+				seen[fwd] = true
+				forward[i] = append(forward[i], fwd)
+				visible[i] = append(visible[i], fwd)
+			}
+			back := (i - d + n) % n
+			if !seen[back] {
+				seen[back] = true
+				visible[i] = append(visible[i], back)
+			}
+		}
+	}
+	return visible, forward
+}
+
+// buildNode creates (or recreates) node i. For the first build addr is
+// "127.0.0.1:0"; recoveries rebind the node's original concrete address
+// so existing rosters stay valid.
+func (m *mesh) buildNode(i int, addr string, peers []string) (*pubsub.Node, error) {
+	id := pubsub.NodeID(i)
+	cfg := pubsub.Config{
+		ID:           id,
+		HBDelay:      m.cfg.hb,
+		HBLowerBound: m.cfg.hb,
+		HBUpperBound: m.cfg.hb,
+		OnDeliver: func(ev pubsub.Event) {
+			if ev.Publisher == id {
+				return // local self-delivery, excluded like the sim's
+			}
+			m.cfg.tr.delivered(ev, id)
+		},
+	}
+	n, err := pubsub.NewUDPNodeTuned(cfg, addr, peers, m.cfg.tun)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Subscribe(m.cfg.subTopics[i]); err != nil {
+		n.Close()
+		return nil, err
+	}
+	if m.cfg.flight > 0 {
+		n.StartFlightRecorder(m.cfg.flight)
+	}
+	return n, nil
+}
+
+// peersFor returns the roster node i is (re)wired with: the full
+// visible set under static membership, only the forward seeds under
+// dynamic (the rest is learned).
+func (m *mesh) peersFor(i int) []string {
+	idx := m.visible[i]
+	if m.cfg.dynamic {
+		idx = m.forward[i]
+	}
+	out := make([]string, len(idx))
+	for j, p := range idx {
+		out[j] = m.addrs[p]
+	}
+	return out
+}
+
+// node returns node i or nil when it is down.
+func (m *mesh) node(i int) *pubsub.Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.nodes) {
+		return nil
+	}
+	return m.nodes[i]
+}
+
+// crash closes node i mid-run, preserving its counters — the sim's
+// runner.crash on real sockets. No-op when already down.
+func (m *mesh) crash(i int) {
+	m.mu.Lock()
+	n := m.nodes[i]
+	if n == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.nodes[i] = nil
+	m.retiredProto = addStats(m.retiredProto, n.Stats())
+	m.retiredWire = addWire(m.retiredWire, n.TransportStats())
+	m.crashes++
+	m.mu.Unlock()
+	n.Close()
+}
+
+// recover rebuilds node i with empty protocol state on its original
+// address and resubscribes it — the sim's runner.recover. No-op when
+// the node is up; a failed rebind (address stolen meanwhile) leaves the
+// node down and is reported, not fatal, matching a deployment where a
+// host simply fails to come back.
+func (m *mesh) recover(i int) {
+	if m.node(i) != nil {
+		return
+	}
+	n, err := m.buildNode(i, m.addrs[i], m.peersFor(i))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: recover node %d: %v\n", i, err)
+		return
+	}
+	m.mu.Lock()
+	m.nodes[i] = n
+	m.recoveries++
+	m.mu.Unlock()
+}
+
+// totals sums protocol and wire counters across live nodes plus the
+// retired accumulator, so crashed instances keep counting.
+func (m *mesh) totals() (pubsub.Stats, pubsub.TransportStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, w := m.retiredProto, m.retiredWire
+	for _, n := range m.nodes {
+		if n != nil {
+			p = addStats(p, n.Stats())
+			w = addWire(w, n.TransportStats())
+		}
+	}
+	return p, w
+}
+
+func (m *mesh) churnCounts() (crashes, recoveries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashes, m.recoveries
+}
+
+func (m *mesh) closeAll() {
+	m.mu.Lock()
+	nodes := append([]*pubsub.Node(nil), m.nodes...)
+	m.mu.Unlock()
+	for _, n := range nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}
+
 func run() int {
 	var (
-		nodes    = flag.Int("nodes", 50, "number of in-process UDP nodes (full loopback mesh)")
+		nodes    = flag.Int("nodes", 50, "number of in-process UDP nodes")
 		duration = flag.Duration("duration", 10*time.Second, "measurement window")
 		warmup   = flag.Duration("warmup", time.Second, "discovery warm-up before measurement")
 		subs     = flag.Float64("subscribers", 1.0, "fraction subscribed to the event topic")
@@ -116,7 +329,18 @@ func run() int {
 		sendQ    = flag.Int("send-queue", 0, "transport send ring bound (0 = default)")
 		recvQ    = flag.Int("recv-queue", 0, "transport dispatch ring bound (0 = default)")
 		flush    = flag.Duration("flush", 0, "transport flush interval (0 = immediate)")
-		check    = flag.Bool("check", false,
+		vis      = flag.Float64("visibility", 1.0,
+			"fraction of the mesh each node sees (circulant ring topology; 1 = full mesh, lower = multi-hop epidemic repair)")
+		membership = flag.String("membership", "static",
+			"roster mode: static (full visible roster wired up front) | dynamic (forward seeds + LearnPeers + suspicion eviction)")
+		suspicion = flag.Duration("suspicion", 2*time.Second,
+			"dynamic membership: evict peers silent for this long (several heartbeat periods)")
+		churn = flag.Float64("churn", 0,
+			"fraction of the roster crashed per churn wave (0 = no churn; uses the churn-nodes generator)")
+		churnWaves = flag.Int("churn-waves", 2, "number of churn waves across the measurement window")
+		churnDown  = flag.Duration("churn-down", 5*time.Second,
+			"downtime before a crashed node recovers with empty state (negative = never)")
+		check = flag.Bool("check", false,
 			"assert the soak: nonzero deliveries, zero decode errors, delivery ratio within -band of the sim prediction (exit 1 on failure)")
 		band        = flag.Float64("band", 0.35, "allowed |real - sim| delivery-ratio gap under -check")
 		minDPS      = flag.Float64("min-dps", 0, "under -check, minimum sustained datagrams/s (0 = don't assert)")
@@ -139,6 +363,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "loadgen: need at least 2 nodes")
 		return 2
 	}
+	if *vis <= 0 || *vis > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -visibility must be in (0,1]")
+		return 2
+	}
+	dynamic := false
+	switch *membership {
+	case "static":
+	case "dynamic":
+		dynamic = true
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unsupported membership %q (static | dynamic)\n", *membership)
+		return 2
+	}
+	if *churn < 0 || *churn > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -churn must be in [0,1]")
+		return 2
+	}
 
 	var params workload.Params
 	switch *wkld {
@@ -159,7 +400,23 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "loadgen: unsupported workload %q (poisson | flash-crowd)\n", *wkld)
 		return 2
 	}
-	if err := workload.CheckParams(*wkld, params); err != nil {
+	// The op stream spec — one description, two executors: the real mesh
+	// below and the netsim mirror. With churn the traffic generator is
+	// mixed with crash/recover waves; the stagger scales with the window
+	// so short CI runs still fit their waves.
+	spec := workload.Spec{Name: *wkld, Params: params}
+	if *churn > 0 {
+		spec = workload.Spec{Name: "mix", Params: workload.MixParams{Parts: []workload.Spec{
+			spec,
+			{Name: "churn-nodes", Params: workload.NodeChurnParams{
+				Waves:    *churnWaves,
+				Fraction: *churn,
+				Stagger:  *duration / 10,
+				Downtime: *churnDown,
+			}},
+		}}}
+	}
+	if err := workload.CheckParams(spec.Name, spec.Params); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		return 2
 	}
@@ -173,79 +430,94 @@ func run() int {
 
 	tr := &tracker{events: make(map[event.ID]*evRec)}
 	tun := pubsub.UDPTuning{SendQueue: *sendQ, RecvQueue: *recvQ, FlushInterval: *flush}
-
-	// Build the mesh: every node binds an ephemeral loopback socket; the
-	// roster is exchanged once all addresses are known. Node i's own
-	// address in the roster is filtered by the transport.
-	mesh := make([]*pubsub.Node, *nodes)
-	for i := range mesh {
-		id := pubsub.NodeID(i)
-		cfg := pubsub.Config{
-			ID:           id,
-			HBDelay:      *hb,
-			HBLowerBound: *hb,
-			HBUpperBound: *hb,
-			OnDeliver: func(ev pubsub.Event) {
-				if ev.Publisher == id {
-					return // local self-delivery, excluded like the sim's
-				}
-				tr.delivered(ev)
-			},
+	if dynamic {
+		tun.LearnPeers = true
+		tun.Suspicion = *suspicion
+	}
+	subTopics := make([]topic.Topic, *nodes)
+	for i := range subTopics {
+		if i < numSubs {
+			subTopics[i] = eventTopic
+		} else {
+			subTopics[i] = decoyTopic
 		}
-		n, err := pubsub.NewUDPNodeTuned(cfg, "127.0.0.1:0", nil, tun)
+	}
+
+	// Build the mesh: every node binds an ephemeral loopback socket
+	// first (addresses must be known before wiring), then the circulant
+	// topology is applied — the whole visible set under static
+	// membership, forward seeds only under dynamic, where the reverse
+	// arcs are learned from heartbeat datagram sources.
+	ms := &mesh{cfg: meshCfg{
+		hb: *hb, tun: tun, dynamic: dynamic, flight: *flight,
+		subTopics: subTopics, tr: tr,
+	}}
+	ms.visible, ms.forward = circulant(*nodes, *vis)
+	ms.nodes = make([]*pubsub.Node, *nodes)
+	ms.addrs = make([]string, *nodes)
+	defer ms.closeAll()
+	for i := range ms.nodes {
+		n, err := ms.buildNode(i, "127.0.0.1:0", nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: node %d: %v\n", i, err)
 			return 2
 		}
-		defer n.Close()
-		mesh[i] = n
+		ms.nodes[i] = n
+		ms.addrs[i] = n.LocalAddr()
 	}
-	for _, a := range mesh {
-		for _, b := range mesh {
-			if err := a.AddPeer(b.LocalAddr()); err != nil {
+	for i, n := range ms.nodes {
+		for _, p := range ms.peersFor(i) {
+			if err := n.AddPeer(p); err != nil {
 				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 				return 2
 			}
 		}
 	}
-	for i, n := range mesh {
-		tp := decoyTopic
-		if i < numSubs {
-			tp = eventTopic
-		}
-		if err := n.Subscribe(tp); err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-			return 2
-		}
-	}
 
-	// Observability: per-node flight recorders, every node's counters in
-	// one registry, and an optional HTTP listener for live scrapes and
-	// flight dumps. All read-only with respect to the protocol.
-	if *flight > 0 {
-		for _, n := range mesh {
-			n.StartFlightRecorder(*flight)
-		}
-	}
+	// Observability: per-node flight recorders (armed in buildNode),
+	// every node's counters in one registry, and an optional HTTP
+	// listener for live scrapes and flight dumps. Registration is
+	// per-instance; recovered instances keep the original instance's
+	// registration (the registry is first-wins), so scrape series stay
+	// stable across churn even though a recovered node's counters
+	// restart — the totals in the final report use mesh.totals, which
+	// does account churn.
 	reg := obs.NewRegistry()
 	reg.CounterFunc("repro_loadgen_published_total",
 		"events published by the harness", func() uint64 { return uint64(tr.pubs.Load()) })
 	reg.CounterFunc("repro_loadgen_delivered_total",
 		"tracked deliveries observed across the mesh", func() uint64 { return uint64(tr.gots.Load()) })
 	reg.GaugeFunc("repro_loadgen_nodes",
-		"mesh size", func() float64 { return float64(len(mesh)) })
-	for _, n := range mesh {
+		"mesh size", func() float64 { return float64(*nodes) })
+	reg.GaugeFunc("repro_loadgen_nodes_up",
+		"nodes currently up (mesh size minus crashed)", func() float64 {
+			ms.mu.Lock()
+			defer ms.mu.Unlock()
+			up := 0
+			for _, n := range ms.nodes {
+				if n != nil {
+					up++
+				}
+			}
+			return float64(up)
+		})
+	for _, n := range ms.nodes {
 		n.RegisterMetrics(reg)
 	}
 	if *metricsAddr != "" {
 		mux := obs.NewMux(reg)
 		mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
 			i, err := strconv.Atoi(r.URL.Query().Get("node"))
-			if err != nil || i < 0 || i >= len(mesh) {
-				http.Error(w, fmt.Sprintf("usage: /flight?node=<0..%d>", len(mesh)-1), http.StatusBadRequest)
+			if err != nil || i < 0 || i >= *nodes {
+				http.Error(w, fmt.Sprintf("usage: /flight?node=<0..%d>", *nodes-1), http.StatusBadRequest)
 				return
 			}
-			if err := mesh[i].WriteFlight(w); err != nil {
+			n := ms.node(i)
+			if n == nil {
+				http.Error(w, fmt.Sprintf("node %d is down (churn)", i), http.StatusNotFound)
+				return
+			}
+			if err := n.WriteFlight(w); err != nil {
 				http.Error(w, err.Error(), http.StatusNotFound)
 			}
 		})
@@ -262,7 +534,7 @@ func run() int {
 
 	// The same generator stream the simulator would run.
 	rng := rand.New(rand.NewSource(*seed))
-	gen, err := workload.Build(*wkld, params, workload.Env{
+	gen, err := workload.Build(spec.Name, spec.Params, workload.Env{
 		Nodes:      *nodes,
 		Rand:       rng,
 		Warmup:     *warmup,
@@ -274,8 +546,8 @@ func run() int {
 		return 2
 	}
 
-	fmt.Printf("loadgen: %d nodes (%d subscribers), %s + %s %s workload, hb %s\n",
-		*nodes, numSubs, *warmup, *duration, *wkld, *hb)
+	fmt.Printf("loadgen: %d nodes (%d subscribers), visibility %.2f (%s membership), %s + %s %s workload, hb %s, churn %.2f\n",
+		*nodes, numSubs, *vis, *membership, *warmup, *duration, *wkld, *hb, *churn)
 
 	start := time.Now()
 	end := start.Add(*warmup + *duration)
@@ -292,13 +564,11 @@ func run() int {
 				case <-done:
 					return
 				case <-tick.C:
-					var w pubsub.TransportStats
-					for _, n := range mesh {
-						w = addWire(w, n.TransportStats())
-					}
-					fmt.Fprintf(os.Stderr, "progress: t=%-6s published %d  delivered %d  datagrams %d  drops send %d recv %d\n",
+					_, w := ms.totals()
+					crashes, recoveries := ms.churnCounts()
+					fmt.Fprintf(os.Stderr, "progress: t=%-6s published %d  delivered %d  datagrams %d  drops send %d recv %d  churn %d/%d\n",
 						time.Since(start).Round(time.Second), tr.pubs.Load(), tr.gots.Load(),
-						w.DatagramsSent, w.Dropped, w.RecvDropped)
+						w.DatagramsSent, w.Dropped, w.RecvDropped, crashes, recoveries)
 				}
 			}
 		}()
@@ -307,43 +577,65 @@ func run() int {
 	// Throughput and message counters cover the measurement window only:
 	// baselines are snapshotted once warm-up ends.
 	time.Sleep(time.Until(start.Add(*warmup)))
-	var baseProto pubsub.Stats
-	var baseWire pubsub.TransportStats
-	for _, n := range mesh {
-		baseProto = addStats(baseProto, n.Stats())
-		baseWire = addWire(baseWire, n.TransportStats())
-	}
+	baseProto, baseWire := ms.totals()
 	measureStart := time.Now()
 
+	// The op loop executes the merged stream with the sim runner's
+	// semantics: publishes on down nodes are silently skipped, anonymous
+	// publishes pick a random subscriber index (down or not — skipped if
+	// down), eligibility counts ALL subscribed indices regardless of
+	// liveness, and crash/recover hit real sockets.
 	published := 0
 	for {
 		op, ok := gen.Next()
 		if !ok {
 			break
 		}
-		if op.Kind != workload.Publish {
-			continue // traffic generators only; churn is sim-only here
-		}
 		time.Sleep(time.Until(start.Add(op.At)))
-		idx := op.Node
-		if idx < 0 {
-			idx = rng.Intn(numSubs) // anonymous publish: a random subscriber
+		switch op.Kind {
+		case workload.Publish:
+			idx := op.Node
+			if idx < 0 {
+				idx = rng.Intn(numSubs) // anonymous publish: a random subscriber
+			}
+			n := ms.node(idx)
+			if n == nil {
+				continue // publisher is down: the sim skips these too
+			}
+			tp := op.Topic
+			if tp.IsZero() {
+				tp = eventTopic
+			}
+			eligible := numSubs
+			if idx < numSubs {
+				eligible-- // the publisher doesn't count toward its own event
+			}
+			id, err := n.Publish(tp, []byte("soak payload"), op.Validity)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: publish: %v\n", err)
+				return 2
+			}
+			tr.published(id, eligible)
+			published++
+		case workload.Crash:
+			ms.crash(op.Node)
+		case workload.Recover:
+			ms.recover(op.Node)
+		case workload.Subscribe, workload.Unsubscribe:
+			n := ms.node(op.Node)
+			if n == nil {
+				continue
+			}
+			tp := op.Topic
+			if tp.IsZero() {
+				tp = eventTopic
+			}
+			if op.Kind == workload.Subscribe {
+				_ = n.Subscribe(tp)
+			} else {
+				n.Unsubscribe(tp)
+			}
 		}
-		tp := op.Topic
-		if tp.IsZero() {
-			tp = eventTopic
-		}
-		eligible := numSubs
-		if idx < numSubs {
-			eligible-- // the publisher doesn't count toward its own event
-		}
-		id, err := mesh[idx].Publish(tp, []byte("soak payload"), op.Validity)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: publish: %v\n", err)
-			return 2
-		}
-		tr.published(id, eligible)
-		published++
 	}
 	time.Sleep(time.Until(end))
 	// Drain grace: events published near the end are still spreading.
@@ -365,15 +657,11 @@ func run() int {
 		time.Sleep(300 * time.Millisecond)
 	}
 
-	var proto pubsub.Stats
-	var wire pubsub.TransportStats
-	for _, n := range mesh {
-		proto = addStats(proto, n.Stats())
-		wire = addWire(wire, n.TransportStats())
-	}
+	proto, wire := ms.totals()
 	proto = subStats(proto, baseProto)
 	wire = subWire(wire, baseWire)
 	elapsed := time.Since(measureStart).Seconds()
+	crashes, recoveries := ms.churnCounts()
 
 	tr.mu.Lock()
 	var gotSum, eligSum int
@@ -396,16 +684,21 @@ func run() int {
 	dps := float64(wire.DatagramsSent) / elapsed
 
 	fmt.Printf("real:  published %d  delivered %d/%d (ratio %.3f)\n", published, gotSum, eligSum, realRatio)
-	fmt.Printf("real:  proto msgs %d (%.1f per delivery)  datagrams %.0f/s  batches %d\n",
-		protoMsgs, msgsPerDelivery, dps, wire.Batches)
+	fmt.Printf("real:  proto msgs %d (%.1f per delivery)  datagrams %.0f/s  batches %d  mmsg sends %d\n",
+		protoMsgs, msgsPerDelivery, dps, wire.Batches, wire.MmsgSends)
 	fmt.Printf("real:  latency ms p50 %.1f  p90 %.1f  p99 %.1f  (n=%d)\n",
 		lat.Quantile(0.50)*1e3, lat.Quantile(0.90)*1e3, lat.Quantile(0.99)*1e3, lat.N())
 	fmt.Printf("real:  drops send %d recv %d  decode errs %d  send errs %d\n",
 		wire.Dropped, wire.RecvDropped, wire.DecodeErrors, wire.SendErrors)
+	if dynamic || crashes > 0 {
+		fmt.Printf("real:  membership peers learned %d  evicted %d  crashes %d  recoveries %d\n",
+			wire.PeersLearned, wire.PeersEvicted, crashes, recoveries)
+	}
 
-	// The matching simulation: same roster, same workload stream shape,
+	// The matching simulation: same roster, same workload stream spec,
 	// same heartbeat tuning, full radio connectivity standing in for the
-	// loopback mesh.
+	// loopback mesh (the partial-visibility gap between the two is part
+	// of what the reported ratio_gap measures).
 	simRes, err := netsim.Run(netsim.Scenario{
 		Name:  "loadgen-mirror",
 		Nodes: *nodes,
@@ -418,7 +711,7 @@ func run() int {
 		EventTopic:         eventTopic,
 		DecoyTopic:         decoyTopic,
 		SubscriberFraction: *subs,
-		Workload:           netsim.WorkloadSpec{Name: *wkld, Params: params},
+		Workload:           netsim.WorkloadSpec{Name: spec.Name, Params: spec.Params},
 		Warmup:             *warmup,
 		Measure:            *duration,
 	})
@@ -437,6 +730,11 @@ func run() int {
 		Nodes:           *nodes,
 		Subscribers:     numSubs,
 		Workload:        *wkld,
+		Visibility:      *vis,
+		Membership:      *membership,
+		ChurnFraction:   *churn,
+		Crashes:         crashes,
+		Recoveries:      recoveries,
 		WarmupSeconds:   warmup.Seconds(),
 		MeasureSeconds:  duration.Seconds(),
 		Published:       published,
@@ -448,6 +746,10 @@ func run() int {
 		ProtoMsgs:       protoMsgs,
 		DatagramsPerSec: dps,
 		Batches:         wire.Batches,
+		MmsgSends:       wire.MmsgSends,
+		MmsgRecvs:       wire.MmsgRecvs,
+		PeersLearned:    wire.PeersLearned,
+		PeersEvicted:    wire.PeersEvicted,
 		LatencyMsP50:    lat.Quantile(0.50) * 1e3,
 		LatencyMsP90:    lat.Quantile(0.90) * 1e3,
 		LatencyMsP99:    lat.Quantile(0.99) * 1e3,
@@ -467,6 +769,14 @@ func run() int {
 			checkFailure = fmt.Sprintf("delivery ratio %.3f vs sim %.3f: gap %.3f > band %.3f", realRatio, simRatio, gap, *band)
 		case *minDPS > 0 && dps < *minDPS:
 			checkFailure = fmt.Sprintf("throughput %.0f datagrams/s < required %.0f", dps, *minDPS)
+		case dynamic && wire.PeersLearned == 0:
+			checkFailure = "dynamic membership never learned a peer from a datagram source"
+		case *churn > 0 && crashes == 0:
+			checkFailure = "churn requested but no crash wave executed (window too short for the stagger?)"
+		case *churn > 0 && *churnDown >= 0 && recoveries == 0:
+			checkFailure = "churned nodes never recovered"
+		case dynamic && *churn > 0 && *churnDown > *suspicion && wire.PeersEvicted == 0:
+			checkFailure = "downtime exceeded the suspicion window but no peer was evicted"
 		}
 		rep.Check = &checkReport{Passed: checkFailure == "", Failure: checkFailure}
 	}
@@ -493,8 +803,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "loadgen: full report:\n%s", blob)
 		}
 		if *flight > 0 {
-			fmt.Fprintln(os.Stderr, "loadgen: flight recorder, node 0:")
-			_ = mesh[0].WriteFlight(os.Stderr)
+			if n := ms.node(0); n != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: flight recorder, node 0:")
+				_ = n.WriteFlight(os.Stderr)
+			}
 		}
 		return 1
 	}
@@ -510,6 +822,11 @@ type report struct {
 	Nodes           int          `json:"nodes"`
 	Subscribers     int          `json:"subscribers"`
 	Workload        string       `json:"workload"`
+	Visibility      float64      `json:"visibility"`
+	Membership      string       `json:"membership"`
+	ChurnFraction   float64      `json:"churn_fraction"`
+	Crashes         int          `json:"crashes"`
+	Recoveries      int          `json:"recoveries"`
 	WarmupSeconds   float64      `json:"warmup_seconds"`
 	MeasureSeconds  float64      `json:"measure_seconds"`
 	Published       int          `json:"published"`
@@ -521,6 +838,10 @@ type report struct {
 	ProtoMsgs       uint64       `json:"proto_msgs"`
 	DatagramsPerSec float64      `json:"datagrams_per_second"`
 	Batches         uint64       `json:"batches"`
+	MmsgSends       uint64       `json:"mmsg_sends"`
+	MmsgRecvs       uint64       `json:"mmsg_recvs"`
+	PeersLearned    uint64       `json:"peers_learned"`
+	PeersEvicted    uint64       `json:"peers_evicted"`
 	LatencyMsP50    float64      `json:"latency_ms_p50"`
 	LatencyMsP90    float64      `json:"latency_ms_p90"`
 	LatencyMsP99    float64      `json:"latency_ms_p99"`
@@ -571,6 +892,10 @@ func addWire(a, b pubsub.TransportStats) pubsub.TransportStats {
 	a.Dropped += b.Dropped
 	a.RecvDropped += b.RecvDropped
 	a.Batches += b.Batches
+	a.PeersLearned += b.PeersLearned
+	a.PeersEvicted += b.PeersEvicted
+	a.MmsgSends += b.MmsgSends
+	a.MmsgRecvs += b.MmsgRecvs
 	return a
 }
 
@@ -582,5 +907,9 @@ func subWire(a, b pubsub.TransportStats) pubsub.TransportStats {
 	a.Dropped -= b.Dropped
 	a.RecvDropped -= b.RecvDropped
 	a.Batches -= b.Batches
+	a.PeersLearned -= b.PeersLearned
+	a.PeersEvicted -= b.PeersEvicted
+	a.MmsgSends -= b.MmsgSends
+	a.MmsgRecvs -= b.MmsgRecvs
 	return a
 }

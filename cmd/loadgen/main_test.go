@@ -72,6 +72,66 @@ func TestSmallSoakCheckPasses(t *testing.T) {
 	}
 }
 
+// TestChurnPartialMeshSoak runs the deployment-shaped soak: a partial
+// circulant mesh (multi-hop epidemic repair on real sockets), dynamic
+// membership (forward seeds + LearnPeers + suspicion eviction), and a
+// crash/recover churn wave from the same generator the sim mirror
+// executes. The -check gate adds the membership assertions: peers must
+// be genuinely learned off the wire, the wave must crash and recover
+// nodes, and a downtime longer than the suspicion window must evict.
+func TestChurnPartialMeshSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs a few wall-clock seconds")
+	}
+	bin := buildLoadgen(t)
+	repPath := filepath.Join(t.TempDir(), "report.json")
+	cmd := exec.Command(bin,
+		"-nodes", "10", "-duration", "4s", "-warmup", "500ms",
+		"-rate", "10", "-hb", "100ms",
+		"-visibility", "0.4", "-membership", "dynamic", "-suspicion", "600ms",
+		"-churn", "0.2", "-churn-waves", "1", "-churn-down", "1s",
+		"-check", "-band", "0.75", "-json", repPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("churn soak check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "CHECK OK") {
+		t.Fatalf("output lacks CHECK OK:\n%s", out)
+	}
+	var rep struct {
+		Visibility   float64 `json:"visibility"`
+		Membership   string  `json:"membership"`
+		Crashes      int     `json:"crashes"`
+		Recoveries   int     `json:"recoveries"`
+		PeersLearned uint64  `json:"peers_learned"`
+		PeersEvicted uint64  `json:"peers_evicted"`
+		Delivered    int     `json:"delivered"`
+		Check        *struct {
+			Passed bool `json:"passed"`
+		} `json:"check"`
+	}
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Membership != "dynamic" || rep.Visibility != 0.4 {
+		t.Fatalf("report does not reflect the topology knobs: %s", data)
+	}
+	if rep.Crashes == 0 || rep.Recoveries == 0 {
+		t.Fatalf("churn wave did not execute (crashes %d, recoveries %d): %s",
+			rep.Crashes, rep.Recoveries, data)
+	}
+	if rep.PeersLearned == 0 || rep.PeersEvicted == 0 || rep.Delivered == 0 {
+		t.Fatalf("membership counters empty: %s", data)
+	}
+	if rep.Check == nil || !rep.Check.Passed {
+		t.Fatalf("report check verdict wrong: %s", data)
+	}
+}
+
 // TestMetricsEndpointServesMesh starts a soak with -metrics-addr, reads
 // the bound address off stdout, and scrapes /metrics, /healthz and
 // /flight while the mesh is running — the acceptance criterion that a

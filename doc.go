@@ -30,13 +30,19 @@
 //     traces and the real path's concurrent flight-recorder ring
 //   - pubsub, internal/transport — the real-network face of the same
 //     core protocol: a goroutine-safe Node over batched, bounded-queue
-//     UDP peer-group broadcast (ARCHITECTURE.md "Real-path contracts"),
-//     with per-node metrics registration and flight recording built in
+//     UDP peer-group broadcast with dynamic membership (seed-based
+//     join from observed datagram sources, suspicion-window failure
+//     detection) and a build-tagged Linux sendmmsg/recvmmsg syscall
+//     fast path (ARCHITECTURE.md "Real-path contracts" and
+//     "Real-deployment contracts"), with per-node metrics registration
+//     and flight recording built in
 //   - cmd/experiments, cmd/frugalsim, cmd/benchjson, cmd/loadgen —
 //     command-line tools (loadgen soak-tests N real UDP nodes under
-//     the registered workload generators and prints the measured
-//     delivery ratio/latency next to the netsim prediction, optionally
-//     serving live /metrics and writing a machine-readable report)
+//     the registered workload generators — full or partial circulant
+//     meshes, static or learned rosters, optional crash/recover churn
+//     waves — and prints the measured delivery ratio/latency next to
+//     the netsim prediction, optionally serving live /metrics and
+//     writing a machine-readable report)
 //   - examples/ — quickstart, carpark, campus, inprocess, udpmesh
 //
 // ARCHITECTURE.md maps the paper's sections onto these packages and

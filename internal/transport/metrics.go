@@ -57,6 +57,18 @@ func (u *UDP) RegisterMetrics(reg *obs.Registry, labels ...string) {
 		"inbound datagrams evicted by dispatch-ring overflow (drop-oldest)", u.recvDropped.Load, labels...)
 	reg.CounterFunc("repro_transport_batches_total",
 		"writer flush passes; datagrams_sent/batches is the coalescing factor", u.batches.Load, labels...)
+	reg.CounterFunc("repro_transport_peers_learned_total",
+		"roster joins learned from observed datagram sources (LearnPeers)", u.peersLearned.Load, labels...)
+	reg.CounterFunc("repro_transport_peers_evicted_total",
+		"roster evictions by the suspicion-window failure detector", u.peersEvicted.Load, labels...)
+	reg.CounterFunc("repro_transport_mmsg_sends_total",
+		"sendmmsg syscalls on the Linux batched path (0 elsewhere)", u.mmsgSends.Load, labels...)
+	reg.CounterFunc("repro_transport_mmsg_recvs_total",
+		"recvmmsg syscalls on the Linux batched path (0 elsewhere)", u.mmsgRecvs.Load, labels...)
+	reg.GaugeFunc("repro_transport_peers",
+		"current broadcast-roster size", func() float64 {
+			return float64(u.PeerCount())
+		}, labels...)
 	reg.GaugeFunc("repro_transport_send_queue_depth",
 		"messages currently queued in the send ring", func() float64 {
 			s, _ := u.QueueDepths()

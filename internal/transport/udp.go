@@ -1,7 +1,7 @@
 // Package transport provides real-network transports for the protocol.
 //
 // UDP emulates the one-hop broadcast primitive of a MANET MAC layer with
-// UDP datagrams fanned out to a static peer group — the standard way to
+// UDP datagrams fanned out to a peer group — the standard way to
 // run MANET protocols in LAN testbeds. Combined with core.NewSafe and a
 // wall-clock core.Scheduler, the protocol runs unchanged on real
 // sockets (see TestUDPEndToEnd and examples/inprocess for the in-memory
@@ -17,7 +17,17 @@
 // never stall socket reads. Both rings drop the OLDEST entry on
 // overflow (new information beats stale information in a soft-state
 // protocol) and count drops in Stats; steady-state Broadcast performs
-// zero heap allocations.
+// zero heap allocations. On Linux each flush batch is handed to the
+// kernel in one sendmmsg call and the read loop drains the socket with
+// recvmmsg (see udp_mmsg_linux.go); the wire bytes are identical to the
+// portable per-datagram path.
+//
+// Membership is dynamic when configured: the initial Peers act as
+// seeds, the roster grows from observed datagram sources (LearnPeers),
+// and a suspicion window evicts peers whose datagrams — the protocol's
+// own heartbeats, in steady state — stop arriving (Suspicion). With the
+// zero config the transport behaves exactly like the static full-mesh
+// roster of earlier revisions.
 package transport
 
 import (
@@ -25,8 +35,10 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/event"
@@ -46,12 +58,27 @@ const DefaultSendQueue = 512
 // the oldest.
 const DefaultRecvQueue = 512
 
+// sockaddrBufSize holds a raw sockaddr_in or sockaddr_in6 for the
+// batched-syscall path (28 bytes = sizeof sockaddr_in6).
+const sockaddrBufSize = 28
+
+// Read-loop backoff bounds: a persistent socket error (for example a
+// forcibly closed descriptor, or an interface torn down under the
+// process) must not hot-spin a core and flood OnError. Consecutive
+// errors double the pause from readBackoffMin up to readBackoffMax; a
+// successful read resets it.
+const (
+	readBackoffMin = time.Millisecond
+	readBackoffMax = 100 * time.Millisecond
+)
+
 // UDPConfig configures a UDP transport.
 type UDPConfig struct {
 	// Listen is the local address to bind, e.g. "127.0.0.1:0".
 	Listen string
-	// Peers are the initial peer addresses; the local address is
-	// filtered out automatically.
+	// Peers are the initial peer addresses; entries naming the local
+	// socket are filtered out (see AddPeer). With LearnPeers they act
+	// as join seeds rather than a full roster.
 	Peers []string
 	// Handler receives every decoded incoming message. It is called
 	// from the transport's single dispatch goroutine (serially), so
@@ -85,6 +112,30 @@ type UDPConfig struct {
 	// wakes — still batching whatever accumulated while the previous
 	// batch was on the wire.
 	FlushInterval time.Duration
+	// LearnPeers grows the roster dynamically: any datagram arriving
+	// from a source address not yet in the peer group joins it (the
+	// configured Peers then act as seeds — a new node only needs one
+	// reachable seed; everyone it heartbeats learns it from the
+	// datagram source, no global roster required). Sources naming the
+	// local socket are never learned.
+	LearnPeers bool
+	// Suspicion, when positive, arms heartbeat-driven failure
+	// detection: a peer from which no datagram has arrived within the
+	// window is evicted from the roster (counted in
+	// Stats.PeersEvicted). The protocol's periodic heartbeats keep
+	// live peers refreshed, so the window should cover several
+	// heartbeat periods. Combine with LearnPeers so an evicted peer
+	// that comes back is re-learned from its next datagram.
+	Suspicion time.Duration
+	// SuspicionSweep overrides how often the eviction check runs
+	// (default Suspicion/4). Only meaningful with Suspicion > 0.
+	SuspicionSweep time.Duration
+	// OnPeerChange, when non-nil, is called after the roster changes:
+	// joined is true for AddPeer and learned sources, false for
+	// RemovePeer and suspicion evictions. It runs on transport
+	// goroutines (and on the caller of AddPeer/RemovePeer), outside
+	// transport locks; it must not block.
+	OnPeerChange func(addr string, joined bool)
 }
 
 // Stats are cumulative transport counters, safe to read concurrently.
@@ -94,14 +145,31 @@ type Stats struct {
 	DecodeErrors      uint64
 	SendErrors        uint64
 	// Dropped counts outbound messages evicted by send-ring overflow
-	// (drop-oldest; the protocol tolerates loss by design).
+	// (drop-oldest; the protocol tolerates loss by design) plus
+	// messages still queued — or enqueued — after Close, which no
+	// writer will ever drain. Broadcasts are conserved:
+	// broadcasts == DatagramsSent/peers + Dropped when no send errors
+	// occur.
 	Dropped uint64
 	// RecvDropped counts inbound datagrams evicted by dispatch-ring
-	// overflow before they reached the handler.
+	// overflow before they reached the handler, plus datagrams still
+	// queued when Close ran.
 	RecvDropped uint64
 	// Batches counts writer flush passes; DatagramsSent/Batches is the
 	// observed coalescing factor.
 	Batches uint64
+	// PeersLearned counts roster joins from observed datagram sources
+	// (LearnPeers).
+	PeersLearned uint64
+	// PeersEvicted counts suspicion-window evictions (Suspicion).
+	PeersEvicted uint64
+	// MmsgSends counts sendmmsg syscalls on the Linux batched fast
+	// path (0 elsewhere); DatagramsSent/MmsgSends is the syscall
+	// batching factor.
+	MmsgSends uint64
+	// MmsgRecvs counts recvmmsg syscalls on the Linux batched fast
+	// path (0 elsewhere).
+	MmsgRecvs uint64
 }
 
 // ring is a bounded FIFO of reusable byte buffers with drop-oldest
@@ -146,24 +214,110 @@ func (r *ring) pop(spare []byte) (data []byte, ok bool) {
 	return data, true
 }
 
-// peerAddr caches both address forms of one peer: the resolved
-// *net.UDPAddr for the generic net.PacketConn path and the value-type
-// netip.AddrPort for the allocation-free *net.UDPConn fast path.
+// drain empties the ring and returns how many entries it held. Used by
+// Close to account for messages that no loop will ever serve.
+func (r *ring) drain() int {
+	r.mu.Lock()
+	n := r.count
+	r.count = 0
+	r.tail = 0
+	r.mu.Unlock()
+	return n
+}
+
+// peerAddr caches every address form of one peer: the resolved
+// *net.UDPAddr for the generic net.PacketConn path, the value-type
+// netip.AddrPort for the allocation-free *net.UDPConn fast path, and a
+// pre-marshalled raw sockaddr for the batched-syscall path. lastSeen
+// (unix nanos of the most recent datagram from this peer; the add time
+// until then) feeds the suspicion-window failure detector.
 type peerAddr struct {
-	ua *net.UDPAddr
-	ap netip.AddrPort
+	ua       *net.UDPAddr
+	ap       netip.AddrPort
+	raw      [sockaddrBufSize]byte
+	rawLen   uint32
+	lastSeen atomic.Int64
+	learned  bool
+}
+
+// localFilter decides whether a roster address names this node's own
+// socket. Matching by rendered-string equality breaks on wildcard
+// binds: a node bound to 0.0.0.0:7946 never string-matches its concrete
+// roster entry 10.0.0.1:7946 and ends up broadcasting to itself —
+// double-counted receives and its own heartbeats fed back. The filter
+// therefore matches on (port, local address set): for a wildcard bind
+// the set is every local interface address, for a concrete bind it is
+// that address alone; an unspecified peer address with the local port
+// always matches.
+type localFilter struct {
+	port  uint16
+	bound netip.Addr          // the bound address (may be unspecified)
+	ips   map[netip.Addr]bool // local interface addresses (wildcard binds)
+}
+
+func newLocalFilter(conn net.PacketConn) localFilter {
+	f := localFilter{ips: map[netip.Addr]bool{}}
+	if ua, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		ap := ua.AddrPort()
+		f.port = ap.Port()
+		f.bound = ap.Addr().Unmap()
+	}
+	if f.bound.IsUnspecified() {
+		// Wildcard bind: the socket answers on every local interface
+		// address, so all of them are "self". If the interface walk
+		// fails we still have the unspecified match below; peers on
+		// other hosts are unaffected either way.
+		if addrs, err := net.InterfaceAddrs(); err == nil {
+			for _, a := range addrs {
+				if ipn, ok := a.(*net.IPNet); ok {
+					if ip, ok := netip.AddrFromSlice(ipn.IP); ok {
+						f.ips[ip.Unmap()] = true
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// matches reports whether ap names the local socket.
+func (f localFilter) matches(ap netip.AddrPort) bool {
+	if ap.Port() != f.port {
+		return false
+	}
+	a := ap.Addr().Unmap()
+	if a.IsUnspecified() {
+		return true
+	}
+	if f.bound.IsUnspecified() {
+		return f.ips[a]
+	}
+	return a == f.bound
 }
 
 // UDP is a peer-group broadcast transport. It implements core.Transport.
 type UDP struct {
 	conn    net.PacketConn
 	uconn   *net.UDPConn // conn when it is a real UDP socket; enables WriteToUDPAddrPort
+	raw     syscall.RawConn
 	handler func(event.Message)
 	onError func(error)
 	flush   time.Duration
 
-	mu    sync.RWMutex
-	peers []peerAddr
+	mu      sync.RWMutex
+	peers   []*peerAddr
+	peerIdx map[netip.AddrPort]*peerAddr
+
+	filter       localFilter
+	sock6        bool // bound socket is AF_INET6 (batched path maps v4 peers)
+	learn        bool
+	suspicion    time.Duration
+	sweepEvery   time.Duration
+	trackSrc     bool // learn || suspicion > 0: observe datagram sources
+	onPeerChange func(addr string, joined bool)
+	// now is the failure detector's clock; tests override it before
+	// starting any loop to drive the suspicion window deterministically.
+	now func() time.Time
 
 	send         ring
 	recv         ring
@@ -172,6 +326,16 @@ type UDP struct {
 
 	sent, received, decodeErrs, sendErrs atomic.Uint64
 	dropped, recvDropped, batches        atomic.Uint64
+	peersLearned, peersEvicted           atomic.Uint64
+	mmsgSends, mmsgRecvs                 atomic.Uint64
+	// mmsgOK gates the Linux batched-syscall path; it latches false
+	// the first time the kernel (or a seccomp filter) rejects the
+	// syscall, permanently falling back to the portable path.
+	mmsgOK atomic.Bool
+
+	// mw is the writer goroutine's lazily-built sendmmsg state; only
+	// writeLoop touches it.
+	mw *mmsgWriter
 
 	// handlerHist, when armed by RegisterMetrics, observes the
 	// decode-to-return latency of every dispatched handler call.
@@ -197,9 +361,9 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 	return newUDP(cfg, true)
 }
 
-// newUDP is NewUDP with the writer goroutine optional, so ring
-// semantics (overflow, drop-oldest, statistics) are testable without
-// racing the drain.
+// newUDP is NewUDP with the writer (and suspicion sweeper) goroutines
+// optional, so ring semantics and failure-detector timing are testable
+// without racing the drains.
 func newUDP(cfg UDPConfig, startWriter bool) (*UDP, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("transport: nil Handler")
@@ -209,6 +373,9 @@ func newUDP(cfg UDPConfig, startWriter bool) (*UDP, error) {
 	}
 	if cfg.FlushInterval < 0 {
 		return nil, fmt.Errorf("transport: negative FlushInterval %v", cfg.FlushInterval)
+	}
+	if cfg.Suspicion < 0 || cfg.SuspicionSweep < 0 {
+		return nil, fmt.Errorf("transport: negative suspicion window (%v) or sweep (%v)", cfg.Suspicion, cfg.SuspicionSweep)
 	}
 	sendQ := cfg.SendQueue
 	if sendQ == 0 {
@@ -229,12 +396,35 @@ func newUDP(cfg UDPConfig, startWriter bool) (*UDP, error) {
 		handler:      cfg.Handler,
 		onError:      cfg.OnError,
 		flush:        cfg.FlushInterval,
+		peerIdx:      map[netip.AddrPort]*peerAddr{},
+		filter:       newLocalFilter(conn),
+		learn:        cfg.LearnPeers,
+		suspicion:    cfg.Suspicion,
+		onPeerChange: cfg.OnPeerChange,
+		now:          time.Now,
 		send:         ring{slots: make([][]byte, sendQ)},
 		recv:         ring{slots: make([][]byte, recvQ)},
 		sendKick:     make(chan struct{}, 1),
 		dispatchKick: make(chan struct{}, 1),
 		done:         make(chan struct{}),
 	}
+	u.trackSrc = u.learn || u.suspicion > 0
+	if ua, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		u.sock6 = ua.AddrPort().Addr().Is6()
+	}
+	u.sweepEvery = cfg.SuspicionSweep
+	if u.sweepEvery == 0 && u.suspicion > 0 {
+		u.sweepEvery = u.suspicion / 4
+		if u.sweepEvery < 10*time.Millisecond {
+			u.sweepEvery = 10 * time.Millisecond
+		}
+	}
+	if uconn != nil {
+		if rc, err := uconn.SyscallConn(); err == nil {
+			u.raw = rc
+		}
+	}
+	u.mmsgOK.Store(u.raw != nil)
 	for _, p := range cfg.Peers {
 		if err := u.AddPeer(p); err != nil {
 			conn.Close()
@@ -247,11 +437,16 @@ func newUDP(cfg UDPConfig, startWriter bool) (*UDP, error) {
 	return u, nil
 }
 
-// startWriter launches the send-ring drain goroutine. Registered on the
-// WaitGroup before launch so Close's wg.Wait always covers it.
+// startWriter launches the send-ring drain goroutine (and, with a
+// suspicion window configured, the eviction sweeper). Registered on the
+// WaitGroup before launch so Close's wg.Wait always covers them.
 func (u *UDP) startWriter() {
 	u.wg.Add(1)
 	go u.writeLoop()
+	if u.suspicion > 0 {
+		u.wg.Add(1)
+		go u.sweepLoop()
+	}
 }
 
 // Start launches the read and dispatch loops; incoming datagrams are
@@ -279,39 +474,197 @@ func (u *UDP) Start() {
 // LocalAddr returns the bound address (useful with ":0" listens).
 func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
 
-// AddPeer adds a peer address to the broadcast group. The local address
-// is ignored, making it safe to pass the same full roster to every node.
+// AddPeer adds a peer address to the broadcast group. Addresses naming
+// the local socket — by the bound address, by any local interface
+// address under a wildcard bind, or by an unspecified address with the
+// local port — are ignored, making it safe to pass the same full roster
+// to every node regardless of how each one was bound.
 func (u *UDP) AddPeer(addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("transport: peer %s: %w", addr, err)
 	}
-	if ua.String() == u.conn.LocalAddr().String() {
-		return nil
-	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	for _, p := range u.peers {
-		if p.ua.String() == ua.String() {
-			return nil
-		}
-	}
 	// Unmap 4-in-6 addresses: ResolveUDPAddr hands back 16-byte IPv4
 	// slices, and the mapped ::ffff:a.b.c.d form is rejected by IPv4
 	// sockets on the WriteToUDPAddrPort fast path.
 	ap := netip.AddrPortFrom(ua.AddrPort().Addr().Unmap(), uint16(ua.Port))
-	u.peers = append(u.peers, peerAddr{ua: ua, ap: ap})
+	if u.filter.matches(ap) {
+		return nil
+	}
+	if added := u.addPeer(ap, ua, false); added && u.onPeerChange != nil {
+		u.onPeerChange(ap.String(), true)
+	}
 	return nil
+}
+
+// addPeer inserts ap unless already present; learned marks roster
+// growth from an observed datagram source.
+func (u *UDP) addPeer(ap netip.AddrPort, ua *net.UDPAddr, learned bool) bool {
+	if ua == nil {
+		ua = net.UDPAddrFromAddrPort(ap)
+	}
+	p := &peerAddr{ua: ua, ap: ap, learned: learned}
+	p.rawLen = u.fillSockaddr(ap, &p.raw)
+	p.lastSeen.Store(u.now().UnixNano())
+	u.mu.Lock()
+	if _, dup := u.peerIdx[ap]; dup {
+		u.mu.Unlock()
+		return false
+	}
+	u.peerIdx[ap] = p
+	u.peers = append(u.peers, p)
+	u.mu.Unlock()
+	if learned {
+		u.peersLearned.Add(1)
+	}
+	return true
+}
+
+// RemovePeer drops a peer address from the broadcast group, reporting
+// whether it was present. In-flight batches may still reach the peer;
+// no datagram is sent to it afterwards.
+func (u *UDP) RemovePeer(addr string) bool {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return false
+	}
+	ap := netip.AddrPortFrom(ua.AddrPort().Addr().Unmap(), uint16(ua.Port))
+	u.mu.Lock()
+	p := u.peerIdx[ap]
+	if p != nil {
+		delete(u.peerIdx, ap)
+		u.removeFromRoster(p)
+	}
+	u.mu.Unlock()
+	if p != nil && u.onPeerChange != nil {
+		u.onPeerChange(ap.String(), false)
+	}
+	return p != nil
+}
+
+// removeFromRoster rebuilds the peer slice without p. Callers hold
+// u.mu. A fresh slice is allocated on purpose: sendBatch snapshots the
+// slice header under RLock and then fans out unlocked, so the old
+// backing array must stay intact.
+func (u *UDP) removeFromRoster(p *peerAddr) {
+	next := make([]*peerAddr, 0, len(u.peers)-1)
+	for _, q := range u.peers {
+		if q != p {
+			next = append(next, q)
+		}
+	}
+	u.peers = next
+}
+
+// Peers returns the current roster, sorted. Useful for inspecting
+// dynamic membership; the snapshot is immediately stale under churn.
+func (u *UDP) Peers() []string {
+	u.mu.RLock()
+	out := make([]string, len(u.peers))
+	for i, p := range u.peers {
+		out[i] = p.ap.String()
+	}
+	u.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// PeerCount returns the current roster size.
+func (u *UDP) PeerCount() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.peers)
+}
+
+// observeSource feeds the membership layer one datagram source: refresh
+// the sender's suspicion clock, or — with LearnPeers — join it to the
+// roster. Called from the socket read goroutine for every datagram when
+// tracking is on.
+func (u *UDP) observeSource(src netip.AddrPort) {
+	if !src.IsValid() {
+		return
+	}
+	u.mu.RLock()
+	p := u.peerIdx[src]
+	u.mu.RUnlock()
+	if p != nil {
+		if u.suspicion > 0 {
+			p.lastSeen.Store(u.now().UnixNano())
+		}
+		return
+	}
+	if !u.learn || u.filter.matches(src) {
+		return
+	}
+	if added := u.addPeer(src, nil, true); added && u.onPeerChange != nil {
+		u.onPeerChange(src.String(), true)
+	}
+}
+
+// sweepSilent evicts every peer whose last datagram is older than the
+// suspicion window at the given instant, returning how many were
+// evicted. The sweeper goroutine calls it on a ticker; tests call it
+// directly with a fake clock.
+func (u *UDP) sweepSilent(now time.Time) int {
+	cut := now.Add(-u.suspicion).UnixNano()
+	var evicted []*peerAddr
+	u.mu.Lock()
+	for _, p := range u.peers {
+		if p.lastSeen.Load() < cut {
+			evicted = append(evicted, p)
+		}
+	}
+	for _, p := range evicted {
+		delete(u.peerIdx, p.ap)
+		u.removeFromRoster(p)
+	}
+	u.mu.Unlock()
+	for _, p := range evicted {
+		u.peersEvicted.Add(1)
+		if u.onPeerChange != nil {
+			u.onPeerChange(p.ap.String(), false)
+		}
+	}
+	return len(evicted)
+}
+
+// sweepLoop runs the suspicion-window failure detector.
+func (u *UDP) sweepLoop() {
+	defer u.wg.Done()
+	t := time.NewTicker(u.sweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-t.C:
+			u.sweepSilent(u.now())
+		}
+	}
 }
 
 // Broadcast implements core.Transport: marshal into a pooled ring slot
 // and return. The writer goroutine fans the message out to every peer
 // in its next flush batch; a full ring drops the oldest queued message
 // (counted in Stats.Dropped) rather than blocking the protocol layer.
-// Steady-state cost is zero heap allocations: the slot buffer is
-// reused and AppendMarshal writes in place.
+// After Close the message is counted as dropped immediately — nothing
+// will ever drain the ring. Steady-state cost is zero heap allocations:
+// the slot buffer is reused and AppendMarshal writes in place.
 func (u *UDP) Broadcast(m event.Message) {
 	u.send.mu.Lock()
+	// The done check shares the ring mutex with Close's final drain, so
+	// every broadcast is accounted exactly once: enqueued before the
+	// drain (the drain counts it) or refused after (counted here).
+	select {
+	case <-u.done:
+		u.send.mu.Unlock()
+		u.dropped.Add(1)
+		if fn := u.dropHook.Load(); fn != nil {
+			(*fn)(true)
+		}
+		return
+	default:
+	}
 	slot, droppedOldest := u.send.push()
 	*slot = event.AppendMarshal((*slot)[:0], m)
 	u.send.mu.Unlock()
@@ -330,8 +683,10 @@ func (u *UDP) Broadcast(m event.Message) {
 // writeLoop drains the send ring: wake on a kick, optionally linger
 // FlushInterval so nearby broadcasts coalesce, then swap the queued
 // slot buffers into a local slab and fan each message out to the peer
-// group — the sendmmsg shape, N packets per flush with one WriteTo per
-// packet.
+// group — one sendmmsg per batch on Linux, one WriteTo per packet
+// elsewhere. Messages swapped out but never handed to the socket on a
+// shutdown mid-batch are counted as dropped, keeping the broadcast
+// conservation law exact.
 func (u *UDP) writeLoop() {
 	defer u.wg.Done()
 	batch := make([][]byte, len(u.send.slots))
@@ -375,17 +730,42 @@ func (u *UDP) writeLoop() {
 			if n == 0 {
 				break
 			}
-			u.sendBatch(batch[:n])
+			if completed := u.sendBatch(batch[:n]); completed < n {
+				// Shutdown mid-batch: the remaining messages were
+				// swapped out of the ring but never offered to the
+				// socket — account them like ring drops.
+				u.dropped.Add(uint64(n - completed))
+				return
+			}
 		}
 	}
 }
 
-// sendBatch fans one coalesced slab of messages out to the peer group.
-func (u *UDP) sendBatch(batch [][]byte) {
+// sendBatch fans one coalesced slab of messages out to the peer group
+// and returns how many messages were fully offered to the socket (all
+// of them except on a shutdown mid-batch).
+func (u *UDP) sendBatch(batch [][]byte) int {
 	u.mu.RLock()
 	peers := u.peers
 	u.mu.RUnlock()
-	for _, wire := range batch {
+	if len(peers) == 0 {
+		u.batches.Add(1)
+		return len(batch)
+	}
+	handled, completed := u.sendBatchOS(batch, peers)
+	if !handled {
+		completed = u.sendBatchPortable(batch, peers)
+	}
+	if completed == len(batch) {
+		u.batches.Add(1)
+	}
+	return completed
+}
+
+// sendBatchPortable is the per-packet fallback: one WriteTo per
+// (message, peer) pair. Returns the number of fully-offered messages.
+func (u *UDP) sendBatchPortable(batch [][]byte, peers []*peerAddr) int {
+	for mi, wire := range batch {
 		for i := range peers {
 			var err error
 			if u.uconn != nil {
@@ -395,7 +775,7 @@ func (u *UDP) sendBatch(batch [][]byte) {
 			}
 			if err != nil {
 				if errors.Is(err, net.ErrClosed) {
-					return // shutdown mid-batch: Close owns the socket now
+					return mi // shutdown mid-batch: Close owns the socket now
 				}
 				u.sendErrs.Add(1)
 				u.reportError(fmt.Errorf("transport: send to %s: %w", peers[i].ua, err))
@@ -404,7 +784,7 @@ func (u *UDP) sendBatch(batch [][]byte) {
 			u.sent.Add(1)
 		}
 	}
-	u.batches.Add(1)
+	return len(batch)
 }
 
 // Stats returns a snapshot of the counters.
@@ -417,14 +797,19 @@ func (u *UDP) Stats() Stats {
 		Dropped:           u.dropped.Load(),
 		RecvDropped:       u.recvDropped.Load(),
 		Batches:           u.batches.Load(),
+		PeersLearned:      u.peersLearned.Load(),
+		PeersEvicted:      u.peersEvicted.Load(),
+		MmsgSends:         u.mmsgSends.Load(),
+		MmsgRecvs:         u.mmsgRecvs.Load(),
 	}
 }
 
-// Close stops the writer and (if started) the read/dispatch loops, and
-// releases the socket. Messages still queued in the send ring are
-// dropped — UDP broadcast is best-effort and the protocol tolerates
-// loss. It is idempotent and safe to race with Start and with in-flight
-// Broadcasts/flushes.
+// Close stops the writer and (if started) the read/dispatch/sweep
+// loops, and releases the socket. Messages still queued in either ring
+// are accounted — send-ring leftovers into Stats.Dropped, dispatch-ring
+// leftovers into Stats.RecvDropped — so the drop counters tell the
+// whole truth at shutdown. It is idempotent and safe to race with Start
+// and with in-flight Broadcasts/flushes.
 func (u *UDP) Close() error {
 	var err error
 	u.closeOnce.Do(func() {
@@ -433,19 +818,43 @@ func (u *UDP) Close() error {
 		u.mu.Unlock()
 		err = u.conn.Close() // also unblocks a writer stuck in WriteTo
 		u.wg.Wait()
+		// All loops have exited; whatever the rings still hold will
+		// never be served. The ring mutexes order these drains against
+		// concurrent Broadcasts (see Broadcast's done check).
+		if n := u.send.drain(); n > 0 {
+			u.dropped.Add(uint64(n))
+			u.fireDropHook(true, n)
+		}
+		if n := u.recv.drain(); n > 0 {
+			u.recvDropped.Add(uint64(n))
+			u.fireDropHook(false, n)
+		}
 	})
 	return err
+}
+
+func (u *UDP) fireDropHook(outbound bool, n int) {
+	fn := u.dropHook.Load()
+	if fn == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		(*fn)(outbound)
+	}
 }
 
 // readLoop moves raw datagrams from the socket into the dispatch ring.
 // It does no decoding and never calls the handler: its only job is to
 // keep the kernel buffer drained so bursts are absorbed by our bounded
-// ring (with accounted drops) instead of silent kernel tail drops.
+// ring (with accounted drops) instead of silent kernel tail drops. On
+// Linux it drains up to a whole recvmmsg batch per syscall. Persistent
+// errors back off exponentially (capped) instead of hot-spinning.
 func (u *UDP) readLoop() {
 	defer u.wg.Done()
-	buf := make([]byte, maxDatagram)
+	rb := u.newReadBatcher()
+	var backoff time.Duration
 	for {
-		n, _, err := u.conn.ReadFrom(buf)
+		n, err := rb.read()
 		if err != nil {
 			select {
 			case <-u.done:
@@ -453,23 +862,64 @@ func (u *UDP) readLoop() {
 			default:
 			}
 			u.reportError(fmt.Errorf("transport: read: %w", err))
+			if backoff == 0 {
+				backoff = readBackoffMin
+			} else if backoff < readBackoffMax {
+				backoff *= 2
+				if backoff > readBackoffMax {
+					backoff = readBackoffMax
+				}
+			}
+			select {
+			case <-u.done:
+				return
+			case <-time.After(backoff):
+			}
 			continue
 		}
-		u.recv.mu.Lock()
-		slot, droppedOldest := u.recv.push()
-		*slot = append((*slot)[:0], buf[:n]...)
-		u.recv.mu.Unlock()
-		if droppedOldest {
-			u.recvDropped.Add(1)
-			if fn := u.dropHook.Load(); fn != nil {
-				(*fn)(false)
-			}
-		}
-		select {
-		case u.dispatchKick <- struct{}{}:
-		default:
+		backoff = 0
+		for i := 0; i < n; i++ {
+			u.ingest(rb.datagram(i))
 		}
 	}
+}
+
+// ingest accounts one received datagram: membership tracking, then the
+// bounded dispatch ring.
+func (u *UDP) ingest(data []byte, src netip.AddrPort) {
+	if u.trackSrc {
+		u.observeSource(src)
+	}
+	u.recv.mu.Lock()
+	slot, droppedOldest := u.recv.push()
+	*slot = append((*slot)[:0], data...)
+	u.recv.mu.Unlock()
+	if droppedOldest {
+		u.recvDropped.Add(1)
+		if fn := u.dropHook.Load(); fn != nil {
+			(*fn)(false)
+		}
+	}
+	select {
+	case u.dispatchKick <- struct{}{}:
+	default:
+	}
+}
+
+// readOne is the portable single-datagram read, also the fallback when
+// the batched syscall path is unavailable.
+func (u *UDP) readOne(buf []byte) (int, netip.AddrPort, error) {
+	if u.uconn != nil {
+		n, ap, err := u.uconn.ReadFromUDPAddrPort(buf)
+		return n, netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), err
+	}
+	n, a, err := u.conn.ReadFrom(buf)
+	var ap netip.AddrPort
+	if ua, ok := a.(*net.UDPAddr); ok {
+		p := ua.AddrPort()
+		ap = netip.AddrPortFrom(p.Addr().Unmap(), p.Port())
+	}
+	return n, ap, err
 }
 
 // dispatchLoop decodes queued datagrams and runs the handler, one

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package transport
+
+// sysSendmmsg is the sendmmsg syscall number (Linux 3.0); the frozen
+// stdlib syscall package predates it on amd64, so it is pinned here.
+// recvmmsg (2.6.33) made the freeze and comes from syscall.SYS_RECVMMSG.
+const sysSendmmsg = 307

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package transport
+
+// sysSendmmsg is the sendmmsg syscall number on arm64 (matches
+// syscall.SYS_SENDMMSG there; pinned locally so udp_mmsg_linux.go reads
+// one name on every supported arch).
+const sysSendmmsg = 269

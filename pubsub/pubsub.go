@@ -8,11 +8,20 @@
 // scheduler and UDP transport, so the minimal deployment is:
 //
 //	node, _ := pubsub.NewUDPNode(pubsub.Config{ID: 1},
-//	    "0.0.0.0:7946", []string{"10.0.0.2:7946", "10.0.0.3:7946"})
+//	    "0.0.0.0:7946", []string{
+//	        "10.0.0.1:7946", // this node — filtered out automatically
+//	        "10.0.0.2:7946", "10.0.0.3:7946"})
 //	defer node.Close()
 //	node.Subscribe(pubsub.MustParseTopic(".fleet.alerts"))
 //	node.Publish(pubsub.MustParseTopic(".fleet.alerts.engine"),
 //	    []byte("oil pressure low"), 2*time.Minute)
+//
+// The same roster file can be handed to every node: entries naming the
+// local socket are filtered by (port, local interface-address set),
+// which works under wildcard binds like the "0.0.0.0:7946" above — not
+// only when the strings happen to match. For a deployment without a
+// global roster at all, set UDPTuning.LearnPeers and Suspicion and pass
+// only a few seed addresses (see NewUDPNodeTuned).
 //
 // For simulation and evaluation, use internal/netsim and cmd/experiments
 // instead; this package is for running the protocol on real transports.
@@ -75,6 +84,19 @@ type UDPTuning struct {
 	// FlushInterval makes the writer linger so nearby broadcasts
 	// coalesce into one batch; 0 flushes as soon as the writer wakes.
 	FlushInterval time.Duration
+	// LearnPeers turns the peers list into join seeds: the roster grows
+	// from observed datagram sources, so a joining node only needs one
+	// reachable seed and the rest of the mesh learns it from its own
+	// heartbeats.
+	LearnPeers bool
+	// Suspicion arms heartbeat-driven failure detection: a peer silent
+	// for longer than this window is evicted from the broadcast roster
+	// (counted in TransportStats.PeersEvicted). Size it to several
+	// protocol heartbeat periods (Config.THeartbeat).
+	Suspicion time.Duration
+	// SuspicionSweep overrides the eviction check period (default
+	// Suspicion/4).
+	SuspicionSweep time.Duration
 }
 
 // ParseTopic converts a string such as ".a.b" (or "a.b") into a Topic.
@@ -157,9 +179,12 @@ func NewUDPNodeTuned(cfg Config, listen string, peers []string, tun UDPTuning) (
 			n.recordReceive(m)
 			_ = n.safe.HandleMessage(m)
 		},
-		SendQueue:     tun.SendQueue,
-		RecvQueue:     tun.RecvQueue,
-		FlushInterval: tun.FlushInterval,
+		SendQueue:      tun.SendQueue,
+		RecvQueue:      tun.RecvQueue,
+		FlushInterval:  tun.FlushInterval,
+		LearnPeers:     tun.LearnPeers,
+		Suspicion:      tun.Suspicion,
+		SuspicionSweep: tun.SuspicionSweep,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: %w", err)
@@ -234,6 +259,27 @@ func (n *Node) AddPeer(addr string) error {
 		return errors.New("pubsub: AddPeer requires the UDP transport")
 	}
 	return n.udp.AddPeer(addr)
+}
+
+// RemovePeer drops addr from the UDP broadcast roster, reporting
+// whether it was present. It is false (and a no-op) on custom
+// transports.
+func (n *Node) RemovePeer(addr string) bool {
+	if n.udp == nil {
+		return false
+	}
+	return n.udp.RemovePeer(addr)
+}
+
+// Peers returns the UDP transport's current broadcast roster, sorted —
+// the transport-level membership view, as opposed to Neighbors, which
+// is the protocol-level neighborhood table built from heartbeats. Nil
+// on custom transports.
+func (n *Node) Peers() []string {
+	if n.udp == nil {
+		return nil
+	}
+	return n.udp.Peers()
 }
 
 // Close stops the protocol and releases the transport.
